@@ -1,0 +1,69 @@
+//! Cost of the simulated collectives: rendezvous overhead per op across
+//! world sizes and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dchag_collectives::run_ranks;
+use dchag_tensor::Tensor;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    for &world in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("world", world), &world, |bench, &w| {
+            bench.iter(|| {
+                let run = run_ranks(w, |ctx| {
+                    let t = Tensor::full([1024], ctx.comm.rank() as f32);
+                    // several rounds per launch to amortize thread spawn
+                    let mut out = 0.0;
+                    for _ in 0..8 {
+                        out = ctx.comm.all_reduce_sum(&t).at(0);
+                    }
+                    out
+                });
+                black_box(run.outputs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgather_payload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_payload");
+    for &len in &[256usize, 4096, 65536] {
+        g.bench_with_input(BenchmarkId::new("f32", len), &len, |bench, &n| {
+            bench.iter(|| {
+                let run = run_ranks(4, move |ctx| {
+                    let t = Tensor::full([n], ctx.comm.rank() as f32);
+                    let mut total = 0usize;
+                    for _ in 0..4 {
+                        total = ctx.comm.all_gather_cat(&t, 0).numel();
+                    }
+                    total
+                });
+                black_box(run.outputs)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    c.bench_function("split_8_ranks_into_grid", |bench| {
+        bench.iter(|| {
+            let run = run_ranks(8, |ctx| {
+                let tp = ctx.comm.split(ctx.comm.rank() / 2);
+                let dp = ctx.comm.split(ctx.comm.rank() % 2);
+                (tp.size(), dp.size())
+            });
+            black_box(run.outputs)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce, bench_allgather_payload, bench_split
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks over the figure harness itself: how fast the analytical
+//! figures regenerate, and the cost of the performance-model primitives
+//! they evaluate (memory breakdowns, throughput estimates, planner search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dchag_bench::registry;
+use dchag_core::Planner;
+use dchag_model::config::{TreeConfig, UnitKind};
+use dchag_model::ModelConfig;
+use dchag_perf::{MemoryModel, Strategy, ThroughputModel};
+
+fn bench_analytical_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    for f in registry().into_iter().filter(|f| !f.heavy) {
+        g.bench_function(f.id, |bench| bench.iter(|| black_box((f.run)())));
+    }
+    g.finish();
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf_model");
+    let mem = MemoryModel::frontier();
+    let thr = ThroughputModel::frontier();
+    let cfg = ModelConfig::p7b().with_channels(512);
+    let s = Strategy::dchag(TreeConfig::tree0(UnitKind::Linear), 8, 8).with_dp(4);
+    g.bench_function("memory_breakdown", |bench| {
+        bench.iter(|| black_box(mem.breakdown(&cfg, &s)))
+    });
+    g.bench_function("throughput_estimate", |bench| {
+        bench.iter(|| black_box(thr.estimate(&cfg, &s)))
+    });
+    g.bench_function("max_micro_batch", |bench| {
+        bench.iter(|| black_box(mem.max_micro_batch(&cfg, &s)))
+    });
+    g.bench_function("planner_best_on_64", |bench| {
+        let planner = Planner::new();
+        bench.iter(|| black_box(planner.best_on(&cfg, 64, 4)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analytical_figures, bench_perf_model
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks for the tensor kernels backing the simulation: GEMM
+//! variants, attention primitives, normalization, and patchification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dchag_tensor::{ops, Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::matmul(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::matmul_nt(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::matmul_tn(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_attention_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attention");
+    // [B·H, S, dh] shapes typical of the functional experiments
+    for &s in &[32usize, 128] {
+        let mut rng = Rng::new(2);
+        let q = Tensor::randn([8, s, 32], 1.0, &mut rng);
+        let k = Tensor::randn([8, s, 32], 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::new("scores_bmm_nt", s), &s, |bench, _| {
+            bench.iter(|| black_box(ops::bmm_nt(&q, &k)))
+        });
+        let scores = ops::bmm_nt(&q, &k);
+        g.bench_with_input(BenchmarkId::new("softmax", s), &s, |bench, _| {
+            bench.iter(|| black_box(ops::softmax_last(&scores)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_norm_and_patchify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layers");
+    let mut rng = Rng::new(3);
+    let x = Tensor::randn([256, 256], 1.0, &mut rng);
+    let gamma = Tensor::ones([256]);
+    let beta = Tensor::zeros([256]);
+    g.bench_function("layernorm_256x256", |bench| {
+        bench.iter(|| black_box(ops::layernorm(&x, &gamma, &beta)))
+    });
+    let img = Tensor::randn([4, 16, 64, 64], 1.0, &mut rng);
+    g.bench_function("patchify_4x16x64x64_p8", |bench| {
+        bench.iter(|| black_box(ops::patchify(&img, 8)))
+    });
+    g.bench_function("gelu_64k", |bench| {
+        let t = Tensor::randn([65536], 1.0, &mut rng);
+        bench.iter(|| black_box(ops::gelu(&t)))
+    });
+    g.finish();
+}
+
+fn bench_autograd_overhead(c: &mut Criterion) {
+    use dchag_tensor::Tape;
+    let mut g = c.benchmark_group("autograd");
+    let mut rng = Rng::new(4);
+    let a = Tensor::randn([64, 64], 1.0, &mut rng);
+    let b = Tensor::randn([64, 64], 1.0, &mut rng);
+    g.bench_function("matmul_fwd_bwd_64", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let av = tape.leaf(a.clone());
+            let bv = tape.leaf(b.clone());
+            let y = tape.matmul(&av, &bv);
+            let loss = tape.sum_all(&y);
+            black_box(tape.backward(&loss))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Figure 6: single-GPU memory and compute per component for 100M / 1B /
+//! 3B models as the channel count grows; OOM boundaries at 1024 / 512 /
+//! 256 channels respectively.
+
+use dchag_model::ModelConfig;
+use dchag_perf::{flops_per_gpu, gb, pct, MemoryModel, Strategy, Table};
+
+/// Micro-batch used throughout the single-GPU analysis.
+pub const BATCH: usize = 8;
+
+pub fn run() -> Vec<Table> {
+    let mem = MemoryModel::frontier();
+    let channels = [32usize, 64, 128, 256, 512, 1024];
+    let models: [(&str, ModelConfig); 3] = [
+        ("100M", ModelConfig::p100m()),
+        ("1B", ModelConfig::p1b()),
+        ("3B", ModelConfig::p3b()),
+    ];
+
+    let mut mem_table = Table::new(
+        "Fig 6 (top): single-GPU memory by component (fraction of usable HBM)",
+        &[
+            "model", "channels", "tok", "agg", "vit", "total GB", "frac", "status",
+        ],
+    );
+    let mut flops_table = Table::new(
+        "Fig 6 (bottom): single-GPU compute by component (TFLOPs per step)",
+        &["model", "channels", "tok", "agg", "vit", "tok+agg share"],
+    );
+
+    for (name, cfg) in &models {
+        for &c in &channels {
+            let cfg = cfg.clone().with_channels(c);
+            let s = Strategy::tp(1, BATCH);
+            let bd = mem.breakdown(&cfg, &s);
+            mem_table.row(vec![
+                name.to_string(),
+                c.to_string(),
+                pct(bd.tok.total() / bd.cap),
+                pct(bd.agg.total() / bd.cap),
+                pct(bd.vit.total() / bd.cap),
+                gb(bd.total()),
+                pct(bd.frac_of_cap()),
+                if bd.fits() { "ok" } else { "OOM" }.to_string(),
+            ]);
+            let f = flops_per_gpu(&cfg, &s);
+            flops_table.row(vec![
+                name.to_string(),
+                c.to_string(),
+                format!("{:.1}", f.tok / 1e12),
+                format!("{:.1}", f.agg / 1e12),
+                format!("{:.1}", f.vit / 1e12),
+                pct((f.tok + f.agg) / f.total()),
+            ]);
+        }
+    }
+    mem_table.note(format!(
+        "micro-batch {BATCH}; paper: 100M handles up to 512ch, 1B up to 256ch, 3B up to 128ch"
+    ));
+    flops_table.note("paper: compute shifts to tokenization+aggregation as channels grow");
+    vec![mem_table, flops_table]
+}
+
+/// The paper's stated OOM boundaries, machine-checked.
+pub fn check_anchors() -> Result<(), String> {
+    let mem = MemoryModel::frontier();
+    let cases = [
+        ("100M", ModelConfig::p100m(), 512usize, 1024usize),
+        ("1B", ModelConfig::p1b(), 256, 512),
+        ("3B", ModelConfig::p3b(), 128, 256),
+    ];
+    for (name, cfg, ok_c, oom_c) in cases {
+        let fits = mem.fits(&cfg.clone().with_channels(ok_c), &Strategy::tp(1, BATCH));
+        let ooms = !mem.fits(&cfg.with_channels(oom_c), &Strategy::tp(1, BATCH));
+        if !fits {
+            return Err(format!("{name}@{ok_c}ch should fit on one GPU"));
+        }
+        if !ooms {
+            return Err(format!("{name}@{oom_c}ch should OOM on one GPU"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_oom_boundaries_hold() {
+        check_anchors().unwrap();
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = run();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].rows.len(), 18);
+        assert!(t[0].render().contains("OOM"));
+    }
+
+    #[test]
+    fn compute_share_shifts_to_channels() {
+        // at 1024 channels tok+agg must dominate flops vs at 32 channels
+        let cfg = ModelConfig::p1b();
+        let low = dchag_perf::flops_per_gpu(&cfg.clone().with_channels(32), &Strategy::tp(1, 1));
+        let high = dchag_perf::flops_per_gpu(&cfg.with_channels(1024), &Strategy::tp(1, 1));
+        let share = |f: &dchag_perf::FlopsBreakdown| (f.tok + f.agg) / f.total();
+        assert!(share(&high) > 2.0 * share(&low));
+    }
+}

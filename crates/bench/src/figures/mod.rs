@@ -1,0 +1,98 @@
+//! One module per evaluation figure of the paper. Figures 1–5 and 10 are
+//! architecture diagrams with nothing to measure; every quantitative figure
+//! is regenerated here.
+
+pub mod ablations;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+
+use dchag_perf::Table;
+
+/// Registry entry: figure id, description, runner.
+pub struct Figure {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub run: fn() -> Vec<Table>,
+    /// Rough cost class; "train" figures run real training loops.
+    pub heavy: bool,
+}
+
+/// All reproducible figures, in paper order.
+pub fn registry() -> Vec<Figure> {
+    vec![
+        Figure {
+            id: "fig06",
+            description: "single-GPU memory and compute per component (100M/1B/3B)",
+            run: fig06::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig07",
+            description: "TP memory per GPU, 1.7B and 7B models",
+            run: fig07::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig08",
+            description: "distributed tokenization alone (negative result)",
+            run: fig08::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig09",
+            description: "D-CHAG gain vs tree configuration (1.7B)",
+            run: fig09::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig11",
+            description: "MAE training-loss parity on hyperspectral data (functional)",
+            run: fig11::run,
+            heavy: true,
+        },
+        Figure {
+            id: "fig12",
+            description: "weather forecasting loss + RMSE parity (functional)",
+            run: fig12::run,
+            heavy: true,
+        },
+        Figure {
+            id: "fig13",
+            description: "D-CHAG memory gains for 7B/15B/26B",
+            run: fig13::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig14",
+            description: "26B model: TP OOMs everywhere, D-CHAG fits",
+            run: fig14::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig15",
+            description: "hybrid configurations on 16 GPUs (7B, 500ch)",
+            run: fig15::run,
+            heavy: false,
+        },
+        Figure {
+            id: "fig16",
+            description: "sustained TFLOPs scaling batch to 1024 GPUs",
+            run: fig16::run,
+            heavy: false,
+        },
+        Figure {
+            id: "ablations",
+            description: "ingredient/tree-depth/communication ablations (beyond the paper)",
+            run: ablations::run,
+            heavy: false,
+        },
+    ]
+}

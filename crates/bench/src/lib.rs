@@ -1,0 +1,39 @@
+//! # dchag-bench
+//!
+//! Experiment harness regenerating every evaluation figure of the D-CHAG
+//! paper (SC 2025). Analytical figures evaluate the `dchag-perf` model;
+//! functional figures (11, 12) run real scaled-down training on the
+//! simulated-rank substrate. Run `cargo run -p dchag-bench --bin reproduce
+//! -- all` (or a figure id) to print the tables.
+
+pub mod figures;
+
+pub use figures::{registry, Figure};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_quantitative_figures() {
+        let ids: Vec<&str> = registry().iter().map(|f| f.id).collect();
+        for want in [
+            "fig06", "fig07", "fig08", "fig09", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16",
+        ] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn light_figures_all_run() {
+        for f in registry().into_iter().filter(|f| !f.heavy) {
+            let tables = (f.run)();
+            assert!(!tables.is_empty(), "{} produced no tables", f.id);
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{} has an empty table", f.id);
+                let _ = t.render();
+            }
+        }
+    }
+}

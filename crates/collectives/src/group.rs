@@ -1,0 +1,232 @@
+//! Process groups and tensor collectives.
+//!
+//! A [`Communicator`] is one rank's handle to a process group. The world
+//! group is created by [`crate::launch::run_ranks`]; sub-groups (TP, FSDP,
+//! DP grids) are carved out with [`Communicator::split`], which follows
+//! `MPI_Comm_split` semantics.
+//!
+//! All reductions are performed in rank order on every member, so results
+//! are bit-identical across ranks and across runs.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use dchag_tensor::ops;
+use dchag_tensor::Tensor;
+
+use crate::thread_comm::CommCore;
+use crate::topology::Topology;
+use crate::traffic::{CollOp, TrafficLog};
+
+/// State shared by every communicator of one world: the traffic log, the
+/// physical topology, and a registry of live cores (for panic poisoning).
+pub struct WorldShared {
+    pub log: Arc<TrafficLog>,
+    pub topo: Topology,
+    cores: Mutex<Vec<Weak<CommCore>>>,
+}
+
+impl WorldShared {
+    pub fn new(topo: Topology) -> Arc<Self> {
+        Arc::new(WorldShared {
+            log: TrafficLog::new(),
+            topo,
+            cores: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub fn register_core(&self, core: &Arc<CommCore>) {
+        self.cores.lock().push(Arc::downgrade(core));
+    }
+
+    /// Poison every live core so blocked peers fail fast instead of hanging.
+    pub fn poison_all(&self) {
+        for core in self.cores.lock().iter() {
+            if let Some(c) = core.upgrade() {
+                c.poison();
+            }
+        }
+    }
+}
+
+/// One rank's handle to a process group.
+#[derive(Clone)]
+pub struct Communicator {
+    rank: usize,
+    group_ranks: Vec<usize>,
+    core: Arc<CommCore>,
+    world: Arc<WorldShared>,
+}
+
+impl Communicator {
+    /// Used by the launcher to build the world group.
+    pub(crate) fn new_world(rank: usize, size: usize, core: Arc<CommCore>, world: Arc<WorldShared>) -> Self {
+        Communicator {
+            rank,
+            group_ranks: (0..size).collect(),
+            core,
+            world,
+        }
+    }
+
+    /// Rank within this group.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.core.size()
+    }
+
+    /// Global (world) rank of this member.
+    #[inline]
+    pub fn global_rank(&self) -> usize {
+        self.group_ranks[self.rank]
+    }
+
+    /// Global ranks of all members, in group-rank order.
+    pub fn group_ranks(&self) -> &[usize] {
+        &self.group_ranks
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.world.topo
+    }
+
+    pub fn traffic(&self) -> &Arc<TrafficLog> {
+        &self.world.log
+    }
+
+    /// Whether this group is contained in a single node.
+    pub fn is_intra_node(&self) -> bool {
+        self.world.topo.is_intra_node(&self.group_ranks)
+    }
+
+    fn record(&self, op: CollOp, payload_bytes: usize) {
+        if self.rank == 0 {
+            self.world.log.record(op, payload_bytes, &self.group_ranks);
+        }
+    }
+
+    // ----- collectives ------------------------------------------------------
+
+    /// Gather each rank's tensor; returns all contributions in rank order.
+    pub fn all_gather_vec(&self, t: &Tensor) -> Vec<Tensor> {
+        self.record(CollOp::AllGather, t.size_bytes());
+        let out = self.core.exchange(self.rank, Box::new(t.clone()));
+        out.iter()
+            .map(|p| p.downcast_ref::<Tensor>().expect("tensor payload").clone())
+            .collect()
+    }
+
+    /// Gather and concatenate along `axis`. Contributions must agree on all
+    /// other axes (ragged sizes along `axis` are allowed).
+    pub fn all_gather_cat(&self, t: &Tensor, axis: usize) -> Tensor {
+        let parts = self.all_gather_vec(t);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        ops::concat(&refs, axis)
+    }
+
+    /// Element-wise sum across the group (identical on every rank).
+    pub fn all_reduce_sum(&self, t: &Tensor) -> Tensor {
+        self.record(CollOp::AllReduce, t.size_bytes());
+        let out = self.core.exchange(self.rank, Box::new(t.clone()));
+        let mut acc = out[0].downcast_ref::<Tensor>().unwrap().clone();
+        for p in out.iter().skip(1) {
+            acc = ops::add(&acc, p.downcast_ref::<Tensor>().unwrap());
+        }
+        acc
+    }
+
+    /// Element-wise mean across the group.
+    pub fn all_reduce_mean(&self, t: &Tensor) -> Tensor {
+        let s = self.all_reduce_sum(t);
+        ops::scale(&s, 1.0 / self.size() as f32)
+    }
+
+    /// Reduce-scatter over axis 0: every rank contributes a `[size·k, ...]`
+    /// tensor and receives the rank-th `[k, ...]` chunk of the element-wise
+    /// sum.
+    pub fn reduce_scatter_sum(&self, t: &Tensor) -> Tensor {
+        self.record(CollOp::ReduceScatter, t.size_bytes());
+        let n = self.size();
+        assert!(
+            t.dims()[0].is_multiple_of(n),
+            "reduce_scatter axis 0 ({}) not divisible by group size {n}",
+            t.dims()[0]
+        );
+        let out = self.core.exchange(self.rank, Box::new(t.clone()));
+        let k = t.dims()[0] / n;
+        let mut acc = ops::slice(
+            out[0].downcast_ref::<Tensor>().unwrap(),
+            0,
+            self.rank * k,
+            k,
+        );
+        for p in out.iter().skip(1) {
+            let chunk = ops::slice(p.downcast_ref::<Tensor>().unwrap(), 0, self.rank * k, k);
+            acc = ops::add(&acc, &chunk);
+        }
+        acc
+    }
+
+    /// Broadcast from `root`: only the root's tensor is used; other ranks may
+    /// pass anything shaped arbitrarily (conventionally their stale copy).
+    pub fn broadcast(&self, t: &Tensor, root: usize) -> Tensor {
+        assert!(root < self.size());
+        self.record(CollOp::Broadcast, t.size_bytes());
+        let out = self.core.exchange(self.rank, Box::new(t.clone()));
+        out[root].downcast_ref::<Tensor>().unwrap().clone()
+    }
+
+    /// Synchronization barrier.
+    pub fn barrier(&self) {
+        self.record(CollOp::Barrier, 0);
+        let _ = self.core.exchange(self.rank, Box::new(()));
+    }
+
+    // ----- group management -------------------------------------------------
+
+    /// Split the group: members passing the same `color` form a new group,
+    /// ordered by their rank in the parent group (`MPI_Comm_split` with
+    /// key = parent rank).
+    pub fn split(&self, color: usize) -> Communicator {
+        // Phase 1: everyone shares its color.
+        let colors = self.core.exchange(self.rank, Box::new(color));
+        let colors: Vec<usize> = colors
+            .iter()
+            .map(|p| *p.downcast_ref::<usize>().unwrap())
+            .collect();
+
+        let members: Vec<usize> = (0..self.size()).filter(|&r| colors[r] == color).collect();
+        let my_new_rank = members.iter().position(|&r| r == self.rank).unwrap();
+        let leader = members[0];
+
+        // Phase 2: each color's leader creates and publishes the new core.
+        let contribution: Option<Arc<CommCore>> = if self.rank == leader {
+            let core = CommCore::new(members.len());
+            self.world.register_core(&core);
+            Some(core)
+        } else {
+            None
+        };
+        let published = self.core.exchange(self.rank, Box::new(contribution));
+        let new_core = published[leader]
+            .downcast_ref::<Option<Arc<CommCore>>>()
+            .unwrap()
+            .clone()
+            .expect("leader published a core");
+
+        let group_ranks: Vec<usize> = members.iter().map(|&r| self.group_ranks[r]).collect();
+        Communicator {
+            rank: my_new_rank,
+            group_ranks,
+            core: new_core,
+            world: self.world.clone(),
+        }
+    }
+}

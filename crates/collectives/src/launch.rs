@@ -1,0 +1,150 @@
+//! Scoped launcher: one OS thread per simulated GPU rank.
+//!
+//! Each thread gets its own [`MemCounter`] installed as the allocation
+//! tracker, so per-rank memory is observable exactly as a per-GPU allocator
+//! would report it. If any rank panics, every live process group is poisoned
+//! so peers fail fast instead of deadlocking, and the launcher re-panics
+//! with the original message.
+
+use std::sync::Arc;
+
+use dchag_tensor::device::{set_tracker, MemCounter};
+
+use crate::group::{Communicator, WorldShared};
+use crate::thread_comm::CommCore;
+use crate::topology::Topology;
+use crate::traffic::TrafficLog;
+
+/// Per-rank execution context handed to the rank closure.
+pub struct RankCtx {
+    /// World communicator for this rank.
+    pub comm: Communicator,
+    /// This rank's device memory counter (also installed as the thread's
+    /// allocation tracker for the duration of the closure).
+    pub mem: Arc<MemCounter>,
+}
+
+/// Outcome of a world launch: per-rank results plus observability handles.
+pub struct WorldRun<T> {
+    /// Rank-ordered closure results.
+    pub outputs: Vec<T>,
+    /// Rank-ordered memory counters (peak survives the run).
+    pub mems: Vec<Arc<MemCounter>>,
+    /// The world's traffic log.
+    pub traffic: Arc<TrafficLog>,
+}
+
+/// Launch `world_size` ranks on the given topology and run `f` on each.
+pub fn run_topology<T, F>(topo: Topology, f: F) -> WorldRun<T>
+where
+    T: Send,
+    F: Fn(RankCtx) -> T + Sync,
+{
+    let world_size = topo.world_size;
+    assert!(world_size > 0);
+    let world = WorldShared::new(topo);
+    let core = CommCore::new(world_size);
+    world.register_core(&core);
+    let traffic = world.log.clone();
+    let mems: Vec<Arc<MemCounter>> = (0..world_size).map(|_| MemCounter::new()).collect();
+
+    let results: Vec<std::thread::Result<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..world_size)
+            .map(|rank| {
+                let comm = Communicator::new_world(rank, world_size, core.clone(), world.clone());
+                let mem = mems[rank].clone();
+                let world = world.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let prev = set_tracker(Some(mem.clone()));
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(RankCtx { comm, mem })
+                    }));
+                    set_tracker(prev);
+                    if out.is_err() {
+                        // Wake peers blocked in collectives before unwinding.
+                        world.poison_all();
+                    }
+                    match out {
+                        Ok(v) => v,
+                        Err(e) => std::panic::resume_unwind(e),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut outputs = Vec::with_capacity(world_size);
+    let mut errors = Vec::new();
+    for r in results {
+        match r {
+            Ok(v) => outputs.push(v),
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        // Secondary "poisoned" panics are a symptom; surface the root cause.
+        let is_poison = |e: &Box<dyn std::any::Any + Send>| {
+            let msg = e
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            msg.contains("poisoned")
+        };
+        let idx = errors.iter().position(|e| !is_poison(e)).unwrap_or(0);
+        std::panic::resume_unwind(errors.swap_remove(idx));
+    }
+    WorldRun {
+        outputs,
+        mems,
+        traffic,
+    }
+}
+
+/// Launch with a Frontier-style topology (8 GPUs per node).
+pub fn run_ranks<T, F>(world_size: usize, f: F) -> WorldRun<T>
+where
+    T: Send,
+    F: Fn(RankCtx) -> T + Sync,
+{
+    run_topology(Topology::frontier(world_size), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchag_tensor::Tensor;
+
+    #[test]
+    fn outputs_are_rank_ordered() {
+        let run = run_ranks(4, |ctx| ctx.comm.rank() * 10);
+        assert_eq!(run.outputs, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn per_rank_memory_tracked_independently() {
+        let run = run_ranks(3, |ctx| {
+            let t = Tensor::zeros([256 * (ctx.comm.rank() + 1)]);
+            let current = ctx.mem.current();
+            drop(t); // keep the allocation alive until after the reading
+            current
+        });
+        assert_eq!(run.mems[0].peak(), 256 * 4);
+        assert_eq!(run.mems[1].peak(), 512 * 4);
+        assert_eq!(run.mems[2].peak(), 768 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 failed")]
+    fn panicking_rank_propagates_without_deadlock() {
+        run_ranks(4, |ctx| {
+            if ctx.comm.rank() == 2 {
+                panic!("rank 2 failed");
+            }
+            // Other ranks block in a collective; poisoning must wake them.
+            let _ = ctx.comm.all_reduce_sum(&Tensor::ones([4]));
+        });
+    }
+}

@@ -1,0 +1,97 @@
+//! Rank-to-node placement, Frontier style.
+//!
+//! Frontier exposes each MI250X GCD as an independent device, 8 per node.
+//! Placement is dense and contiguous: global rank `r` lives on node
+//! `r / gpus_per_node`. Hybrid parallel groups use this to tell intra-node
+//! traffic (Infinity Fabric) from inter-node traffic (Slingshot).
+
+/// Static placement of `world_size` ranks onto nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    pub world_size: usize,
+    pub gpus_per_node: usize,
+}
+
+impl Topology {
+    /// A Frontier-like topology: 8 GCDs ("GPUs") per node.
+    pub fn frontier(world_size: usize) -> Self {
+        Topology {
+            world_size,
+            gpus_per_node: 8,
+        }
+    }
+
+    pub fn new(world_size: usize, gpus_per_node: usize) -> Self {
+        assert!(gpus_per_node > 0);
+        Topology {
+            world_size,
+            gpus_per_node,
+        }
+    }
+
+    /// Node index hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node
+    }
+
+    /// Index of `rank` within its node.
+    #[inline]
+    pub fn local_of(&self, rank: usize) -> usize {
+        rank % self.gpus_per_node
+    }
+
+    /// Number of (possibly partially filled) nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.world_size.div_ceil(self.gpus_per_node)
+    }
+
+    /// Whether every rank of `ranks` lives on one node.
+    pub fn is_intra_node(&self, ranks: &[usize]) -> bool {
+        match ranks.first() {
+            None => true,
+            Some(&r0) => {
+                let n = self.node_of(r0);
+                ranks.iter().all(|&r| self.node_of(r) == n)
+            }
+        }
+    }
+
+    /// Number of distinct nodes spanned by `ranks`.
+    pub fn nodes_spanned(&self, ranks: &[usize]) -> usize {
+        let mut nodes: Vec<usize> = ranks.iter().map(|&r| self.node_of(r)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_places_eight_per_node() {
+        let t = Topology::frontier(16);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(7), 0);
+        assert_eq!(t.node_of(8), 1);
+        assert_eq!(t.local_of(11), 3);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn partial_last_node_counts() {
+        let t = Topology::frontier(10);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn intra_node_detection() {
+        let t = Topology::frontier(16);
+        assert!(t.is_intra_node(&[0, 3, 7]));
+        assert!(!t.is_intra_node(&[0, 8]));
+        assert!(t.is_intra_node(&[]));
+        assert_eq!(t.nodes_spanned(&[0, 1, 8, 9, 15]), 2);
+    }
+}

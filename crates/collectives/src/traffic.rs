@@ -1,0 +1,164 @@
+//! Communication-traffic recording.
+//!
+//! Every collective logs one event per *call site* (recorded once by rank 0
+//! of the participating group, so counts are per logical collective, not per
+//! rank). The D-CHAG paper's central claim — "no communication in the
+//! backward pass" — is asserted in tests by diffing the log around the
+//! backward call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// The collective kinds the substrate supports (RCCL vocabulary).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CollOp {
+    AllGather,
+    AllReduce,
+    ReduceScatter,
+    Broadcast,
+    Barrier,
+}
+
+impl CollOp {
+    pub const ALL: [CollOp; 5] = [
+        CollOp::AllGather,
+        CollOp::AllReduce,
+        CollOp::ReduceScatter,
+        CollOp::Broadcast,
+        CollOp::Barrier,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollOp::AllGather => "AllGather",
+            CollOp::AllReduce => "AllReduce",
+            CollOp::ReduceScatter => "ReduceScatter",
+            CollOp::Broadcast => "Broadcast",
+            CollOp::Barrier => "Barrier",
+        }
+    }
+}
+
+/// One recorded collective.
+#[derive(Clone, Debug)]
+pub struct CollEvent {
+    pub op: CollOp,
+    /// Per-rank input payload bytes (the `sendbuf` size).
+    pub payload_bytes: usize,
+    /// Size of the participating group.
+    pub group_size: usize,
+    /// Global ranks of the group (for intra/inter-node attribution).
+    pub group_ranks: Vec<usize>,
+    /// Monotone sequence number across the whole world.
+    pub seq: usize,
+}
+
+/// Shared, thread-safe event log for one world.
+#[derive(Default)]
+pub struct TrafficLog {
+    events: Mutex<Vec<CollEvent>>,
+    seq: AtomicUsize,
+}
+
+impl TrafficLog {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn record(&self, op: CollOp, payload_bytes: usize, group_ranks: &[usize]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().push(CollEvent {
+            op,
+            payload_bytes,
+            group_size: group_ranks.len(),
+            group_ranks: group_ranks.to_vec(),
+            seq,
+        });
+    }
+
+    /// Snapshot of all events so far.
+    pub fn events(&self) -> Vec<CollEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded so far — cheap cursor for "no comm between
+    /// these two points" assertions.
+    pub fn cursor(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Events recorded at or after a cursor obtained from [`cursor`].
+    ///
+    /// [`cursor`]: TrafficLog::cursor
+    pub fn since(&self, cursor: usize) -> Vec<CollEvent> {
+        self.events.lock()[cursor..].to_vec()
+    }
+
+    pub fn count(&self, op: CollOp) -> usize {
+        self.events.lock().iter().filter(|e| e.op == op).count()
+    }
+
+    /// Total logical payload bytes moved by collectives of `op`
+    /// (`payload × (group−1)` per event, the ring lower bound).
+    pub fn bytes(&self, op: CollOp) -> usize {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.op == op)
+            .map(|e| e.payload_bytes * e.group_size.saturating_sub(1))
+            .sum()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let log = TrafficLog::new();
+        log.record(CollOp::AllGather, 1024, &[0, 1]);
+        log.record(CollOp::AllReduce, 2048, &[0, 1, 2, 3]);
+        log.record(CollOp::AllGather, 512, &[2, 3]);
+        assert_eq!(log.count(CollOp::AllGather), 2);
+        assert_eq!(log.count(CollOp::AllReduce), 1);
+        assert_eq!(log.count(CollOp::Barrier), 0);
+    }
+
+    #[test]
+    fn bytes_scale_with_group_size() {
+        let log = TrafficLog::new();
+        log.record(CollOp::AllGather, 100, &[0, 1, 2, 3]);
+        assert_eq!(log.bytes(CollOp::AllGather), 300);
+    }
+
+    #[test]
+    fn cursor_and_since() {
+        let log = TrafficLog::new();
+        log.record(CollOp::Barrier, 0, &[0]);
+        let cur = log.cursor();
+        assert!(log.since(cur).is_empty());
+        log.record(CollOp::Broadcast, 64, &[0, 1]);
+        let after = log.since(cur);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].op, CollOp::Broadcast);
+    }
+
+    #[test]
+    fn seq_is_monotone() {
+        let log = TrafficLog::new();
+        for _ in 0..5 {
+            log.record(CollOp::Barrier, 0, &[0]);
+        }
+        let ev = log.events();
+        for w in ev.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

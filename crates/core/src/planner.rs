@@ -1,0 +1,176 @@
+//! Configuration planning: given a model and a GPU budget, pick the
+//! D-CHAG/TP/FSDP/DP layout — the "what do I run?" entry point a user
+//! would reach for first.
+
+use dchag_model::config::{ModelConfig, TreeConfig, UnitKind};
+use dchag_perf::{ChannelPlan, MemoryModel, Strategy, ThroughputModel};
+
+/// A planned configuration with its predicted characteristics.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub strategy: Strategy,
+    /// Predicted per-GPU memory, bytes.
+    pub mem_per_gpu: f64,
+    /// Predicted sustained TFLOP/s across all GPUs.
+    pub tflops_total: f64,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Planner over the Frontier hardware model.
+pub struct Planner {
+    mem: MemoryModel,
+    thr: ThroughputModel,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Planner {
+    pub fn new() -> Self {
+        Planner {
+            mem: MemoryModel::frontier(),
+            thr: ThroughputModel::frontier(),
+        }
+    }
+
+    /// Does this model need model parallelism at all, or does FSDP suffice
+    /// (the paper's §4.3 regime test)?
+    pub fn fsdp_suffices(&self, cfg: &ModelConfig, gpus: usize, micro_batch: usize) -> bool {
+        self.mem
+            .fits(cfg, &Strategy::fsdp(gpus.min(64), micro_batch))
+    }
+
+    /// Smallest TP degree at which plain TP fits (None = impossible).
+    pub fn min_tp_baseline(&self, cfg: &ModelConfig, micro_batch: usize) -> Option<usize> {
+        self.mem
+            .min_tp(cfg, ChannelPlan::Replicated, micro_batch, 64)
+    }
+
+    /// Smallest TP degree at which D-CHAG fits.
+    pub fn min_tp_dchag(
+        &self,
+        cfg: &ModelConfig,
+        tree: TreeConfig,
+        micro_batch: usize,
+    ) -> Option<usize> {
+        self.mem
+            .min_tp(cfg, ChannelPlan::DChag(tree), micro_batch, 64)
+    }
+
+    /// Pick the highest-throughput configuration on `gpus` GPUs that
+    /// sustains at least `min_batch` per replica. Searches D-CHAG trees
+    /// (Tree0, -L and -C), TP/FSDP/DP factorizations, and the TP baseline.
+    pub fn best_on(&self, cfg: &ModelConfig, gpus: usize, min_batch: usize) -> Option<Plan> {
+        let mut best: Option<Plan> = None;
+        let trees = [
+            None,
+            Some(TreeConfig::tree0(UnitKind::Linear)),
+            Some(TreeConfig::tree0(UnitKind::CrossAttention)),
+        ];
+        let mut tp = 1;
+        while tp <= gpus && cfg.heads.is_multiple_of(tp) {
+            if !cfg.channels.is_multiple_of(tp) {
+                tp *= 2;
+                continue;
+            }
+            let rest = gpus / tp;
+            let mut fsdp = 1;
+            while fsdp <= rest {
+                if !gpus.is_multiple_of(tp * fsdp) {
+                    fsdp *= 2;
+                    continue;
+                }
+                let dp = gpus / (tp * fsdp);
+                for tree in trees {
+                    let base = match tree {
+                        None => Strategy::tp(tp, 1),
+                        Some(t) => Strategy::dchag(t, tp, 1),
+                    }
+                    .with_fsdp(fsdp)
+                    .with_dp(dp);
+                    let Some(filled) = self.thr.at_max_batch(cfg, &base) else {
+                        continue;
+                    };
+                    if filled.micro_batch < min_batch {
+                        continue;
+                    }
+                    let tf = self.thr.tflops_total(cfg, &filled);
+                    if best.as_ref().is_none_or(|b| tf > b.tflops_total) {
+                        let bd = self.mem.breakdown(cfg, &filled);
+                        best = Some(Plan {
+                            strategy: filled,
+                            mem_per_gpu: bd.total(),
+                            tflops_total: tf,
+                            rationale: format!(
+                                "fits at {:.0}% of HBM with micro-batch {}",
+                                bd.frac_of_cap() * 100.0,
+                                filled.micro_batch
+                            ),
+                        });
+                    }
+                }
+                fsdp *= 2;
+            }
+            tp *= 2;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsdp_suffices_for_small_models_only() {
+        let p = Planner::new();
+        // paper §4.3: 7B@128 trains with FSDP alone on one node…
+        assert!(p.fsdp_suffices(&ModelConfig::p7b().with_channels(128), 8, 1));
+        // …but 26B never fits a node.
+        assert!(!p.fsdp_suffices(&ModelConfig::p26b().with_channels(64), 8, 1));
+    }
+
+    #[test]
+    fn dchag_needs_fewer_gpus_than_baseline() {
+        let p = Planner::new();
+        let cfg = ModelConfig::p7b().with_channels(512);
+        let base = p.min_tp_baseline(&cfg, 10).unwrap();
+        let dchag = p
+            .min_tp_dchag(&cfg, TreeConfig::tree0(UnitKind::Linear), 10)
+            .unwrap();
+        assert!(dchag < base, "D-CHAG {dchag} vs baseline {base}");
+    }
+
+    #[test]
+    fn best_plan_on_16_gpus_uses_dchag() {
+        let p = Planner::new();
+        let cfg = ModelConfig::p7b().with_channels(512);
+        let plan = p.best_on(&cfg, 16, 8).expect("some config fits");
+        assert!(
+            matches!(plan.strategy.plan, ChannelPlan::DChag(_)),
+            "best: {}",
+            plan.strategy.name()
+        );
+        assert!(plan.tflops_total > 0.0);
+        assert!(!plan.rationale.is_empty());
+    }
+
+    #[test]
+    fn plan_respects_min_batch() {
+        let p = Planner::new();
+        let cfg = ModelConfig::p7b().with_channels(512);
+        let plan = p.best_on(&cfg, 16, 8).unwrap();
+        assert!(plan.strategy.micro_batch >= 8);
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let p = Planner::new();
+        // 26B on 1 GPU is impossible under any plan.
+        assert!(p.best_on(&ModelConfig::p26b(), 1, 1).is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # dchag-data
+//!
+//! Synthetic data substrates for the two evaluation workloads of the D-CHAG
+//! paper, built to exercise the same code paths as the originals:
+//!
+//! * [`hyperspectral`] — APPL-like VNIR plant cubes (default 494 images ×
+//!   500 bands, 400–900 nm): endmember spectral mixing over procedural
+//!   plant silhouettes.
+//! * [`weather`] — ERA5-like global state (80 channels: 5 atmospheric
+//!   variables × 15 pressure levels + surface + static fields) with
+//!   deterministic advective dynamics, so forecasting is learnable.
+//! * [`regrid`] — bilinear regridding (the xESMF substitute).
+//! * [`rgb`] — pseudo-RGB rendering of hyperspectral cubes.
+//! * [`stats`] — per-channel normalization.
+
+pub mod field;
+pub mod hyperspectral;
+pub mod regrid;
+pub mod rgb;
+pub mod stats;
+pub mod weather;
+
+pub use hyperspectral::{HyperspectralConfig, HyperspectralDataset};
+pub use regrid::{regrid_bilinear, regrid_era5};
+pub use rgb::{ascii_render, pseudo_rgb};
+pub use stats::ChannelStats;
+pub use weather::{WeatherConfig, WeatherDataset};

@@ -1,0 +1,132 @@
+//! Bilinear regridding — the xESMF substitute (paper §5.2 regrids ERA5
+//! from 0.25° to 5.625° with bilinear interpolation).
+//!
+//! Cell-centered source and destination grids; longitude is periodic,
+//! latitude clamps at the poles.
+
+use dchag_tensor::{Shape, Tensor};
+
+/// Regrid `[.., H, W] -> [.., h, w]` bilinearly.
+pub fn regrid_bilinear(src: &Tensor, out_h: usize, out_w: usize) -> Tensor {
+    let nd = src.ndim();
+    assert!(nd >= 2, "regrid wants at least 2-D");
+    let (h, w) = (src.dims()[nd - 2], src.dims()[nd - 1]);
+    let planes = src.numel() / (h * w);
+    let mut out = vec![0.0f32; planes * out_h * out_w];
+
+    for pl in 0..planes {
+        let s = &src.data()[pl * h * w..(pl + 1) * h * w];
+        let d = &mut out[pl * out_h * out_w..(pl + 1) * out_h * out_w];
+        for oy in 0..out_h {
+            // cell-centered mapping
+            let fy = ((oy as f32 + 0.5) / out_h as f32) * h as f32 - 0.5;
+            let y0f = fy.floor();
+            let ty = fy - y0f;
+            let y0 = (y0f as isize).clamp(0, h as isize - 1) as usize;
+            let y1 = (y0f as isize + 1).clamp(0, h as isize - 1) as usize;
+            for ox in 0..out_w {
+                let fx = ((ox as f32 + 0.5) / out_w as f32) * w as f32 - 0.5;
+                let x0f = fx.floor();
+                let tx = fx - x0f;
+                let x0 = (x0f as isize).rem_euclid(w as isize) as usize;
+                let x1 = (x0f as isize + 1).rem_euclid(w as isize) as usize;
+                let v = s[y0 * w + x0] * (1.0 - ty) * (1.0 - tx)
+                    + s[y0 * w + x1] * (1.0 - ty) * tx
+                    + s[y1 * w + x0] * ty * (1.0 - tx)
+                    + s[y1 * w + x1] * ty * tx;
+                d[oy * out_w + ox] = v;
+            }
+        }
+    }
+    let mut dims = src.dims().to_vec();
+    dims[nd - 2] = out_h;
+    dims[nd - 1] = out_w;
+    Tensor::from_vec(out, Shape::new(&dims))
+}
+
+/// The paper's exact regridding: 0.25° (770 × 1440 in the paper's text) to
+/// 5.625° (32 × 64).
+pub fn regrid_era5(src: &Tensor) -> Tensor {
+    regrid_bilinear(src, 32, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchag_tensor::Rng;
+
+    #[test]
+    fn constant_field_preserved() {
+        let src = Tensor::full([1, 1, 16, 32], 3.25);
+        let out = regrid_bilinear(&src, 8, 16);
+        assert_eq!(out.dims(), &[1, 1, 8, 16]);
+        for &v in out.data() {
+            assert!((v - 3.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identity_resolution_is_identity() {
+        let mut rng = Rng::new(1);
+        let src = Tensor::randn([2, 8, 8], 1.0, &mut rng);
+        let out = regrid_bilinear(&src, 8, 8);
+        assert!(out.max_abs_diff(&src) < 1e-6);
+    }
+
+    #[test]
+    fn linear_gradient_preserved() {
+        // bilinear interpolation is exact for (lat-)linear fields
+        let (h, w) = (16usize, 8usize);
+        let mut data = vec![0.0; h * w];
+        for y in 0..h {
+            for x in 0..w {
+                data[y * w + x] = (y as f32 + 0.5) / h as f32;
+            }
+        }
+        let src = Tensor::from_vec(data, [h, w]);
+        let out = regrid_bilinear(&src, 8, 8);
+        for y in 0..8 {
+            let want = (y as f32 + 0.5) / 8.0;
+            let got = out.at(y * 8 + 3);
+            assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn downsampling_reduces_variance() {
+        let mut rng = Rng::new(2);
+        let src = Tensor::randn([1, 64, 128], 1.0, &mut rng);
+        let out = regrid_bilinear(&src, 8, 16);
+        let var = |t: &Tensor| {
+            let m = t.mean();
+            t.data().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / t.numel() as f32
+        };
+        assert!(var(&out) < var(&src));
+    }
+
+    #[test]
+    fn era5_shape() {
+        let src = Tensor::zeros([2, 770, 1440]);
+        let out = regrid_era5(&src);
+        assert_eq!(out.dims(), &[2, 32, 64]);
+    }
+
+    #[test]
+    fn longitude_wraps() {
+        // a field periodic in x must stay consistent at the seam
+        let (h, w) = (4usize, 8usize);
+        let mut data = vec![0.0; h * w];
+        for y in 0..h {
+            for x in 0..w {
+                data[y * w + x] = (2.0 * std::f32::consts::PI * x as f32 / w as f32).cos();
+            }
+        }
+        let src = Tensor::from_vec(data, [h, w]);
+        let out = regrid_bilinear(&src, 4, 16);
+        assert!(out.all_finite());
+        // first and last destination columns are neighbors across the seam
+        let a = out.at(0);
+        let b = out.at(15);
+        assert!((a - b).abs() < 0.3, "seam discontinuity: {a} vs {b}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Pseudo-RGB rendering of hyperspectral cubes (paper Fig. 11 visualizes
+//! reconstructions as pseudo-RGB).
+
+use dchag_tensor::Tensor;
+
+/// Average the bands whose wavelengths fall in `[lo, hi]` nm.
+fn band_average(cube: &Tensor, wavelengths: &[f32], lo: f32, hi: f32) -> Vec<f32> {
+    let (c, h, w) = (cube.dims()[0], cube.dims()[1], cube.dims()[2]);
+    assert_eq!(wavelengths.len(), c);
+    let mut out = vec![0.0f32; h * w];
+    let mut n = 0usize;
+    for (b, &nm) in wavelengths.iter().enumerate() {
+        if nm >= lo && nm <= hi {
+            for (o, &v) in out.iter_mut().zip(&cube.data()[b * h * w..(b + 1) * h * w]) {
+                *o += v;
+            }
+            n += 1;
+        }
+    }
+    if n > 0 {
+        let inv = 1.0 / n as f32;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+/// `[C, H, W]` cube → `[3, H, W]` pseudo-RGB (R: 620–680, G: 530–590,
+/// B: 450–510 nm), normalized to [0, 1] jointly.
+pub fn pseudo_rgb(cube: &Tensor, wavelengths: &[f32]) -> Tensor {
+    assert_eq!(cube.ndim(), 3, "cube must be [C,H,W]");
+    let (h, w) = (cube.dims()[1], cube.dims()[2]);
+    let r = band_average(cube, wavelengths, 620.0, 680.0);
+    let g = band_average(cube, wavelengths, 530.0, 590.0);
+    let b = band_average(cube, wavelengths, 450.0, 510.0);
+    let mut data = Vec::with_capacity(3 * h * w);
+    data.extend_from_slice(&r);
+    data.extend_from_slice(&g);
+    data.extend_from_slice(&b);
+    let max = data.iter().fold(1e-6f32, |m, &x| m.max(x));
+    let min = data.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+    let scale = 1.0 / (max - min).max(1e-6);
+    for x in data.iter_mut() {
+        *x = (*x - min) * scale;
+    }
+    Tensor::from_vec(data, [3, h, w])
+}
+
+/// Render an `[3, H, W]` image as coarse ASCII art (terminal-friendly
+/// stand-in for the paper's reconstruction figures).
+pub fn ascii_render(rgb: &Tensor, cols: usize) -> String {
+    let (h, w) = (rgb.dims()[1], rgb.dims()[2]);
+    let rows = (cols * h / w / 2).max(1); // terminal cells are ~2:1
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for ry in 0..rows {
+        for rx in 0..cols {
+            let y = ry * h / rows;
+            let x = rx * w / cols;
+            // luminance from the three planes
+            let lum = 0.35 * rgb.at(y * w + x)
+                + 0.5 * rgb.at(h * w + y * w + x)
+                + 0.15 * rgb.at(2 * h * w + y * w + x);
+            let idx = ((lum.clamp(0.0, 1.0)) * (ramp.len() - 1) as f32).round() as usize;
+            out.push(ramp[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperspectral::{HyperspectralConfig, HyperspectralDataset};
+
+    #[test]
+    fn rgb_shape_and_range() {
+        let ds = HyperspectralDataset::new(HyperspectralConfig {
+            bands: 32,
+            h: 16,
+            w: 16,
+            images: 1,
+            seed: 1,
+        });
+        let rgb = pseudo_rgb(&ds.image(0), &ds.wavelengths());
+        assert_eq!(rgb.dims(), &[3, 16, 16]);
+        for &v in rgb.data() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vegetation_looks_green() {
+        // leaf pixels: green band reflectance above blue
+        let ds = HyperspectralDataset::new(HyperspectralConfig {
+            bands: 64,
+            h: 24,
+            w: 24,
+            images: 1,
+            seed: 2,
+        });
+        let rgb = pseudo_rgb(&ds.image(0), &ds.wavelengths());
+        let hw = 24 * 24;
+        // center pixel is canopy
+        let p = 12 * 24 + 12;
+        let (g, b) = (rgb.at(hw + p), rgb.at(2 * hw + p));
+        assert!(g > b, "green {g} vs blue {b}");
+    }
+
+    #[test]
+    fn ascii_render_has_expected_lines() {
+        let rgb = Tensor::full([3, 8, 8], 0.5);
+        let art = ascii_render(&rgb, 16);
+        assert_eq!(art.lines().count(), 8);
+        assert!(art.lines().all(|l| l.len() == 16));
+    }
+
+    #[test]
+    fn band_average_empty_range_is_zero() {
+        let cube = Tensor::ones([4, 2, 2]);
+        let out = band_average(&cube, &[400.0, 500.0, 600.0, 700.0], 900.0, 950.0);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Multi-head attention (self and cross), the shared engine behind both the
+//! ViT blocks (spatial self-attention) and the channel-aggregation modules
+//! (cross-channel attention).
+
+use dchag_tensor::prelude::*;
+
+use crate::layers::Linear;
+
+/// Multi-head attention with separate Q/K/V/O projections.
+///
+/// `heads` may be a *slice* of a larger logical head count — that is exactly
+/// how tensor parallelism shards attention (each TP rank holds
+/// `heads / tp` heads and `dim / tp` of the projection width).
+pub struct MultiHeadAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    /// Heads computed by this module.
+    pub heads: usize,
+    /// Model (input/output) width.
+    pub dim: usize,
+    /// Per-head width.
+    pub head_dim: usize,
+    /// Inner width = heads · head_dim (differs from `dim` under TP).
+    pub inner_dim: usize,
+}
+
+impl MultiHeadAttention {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        name: &str,
+        dim: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(dim.is_multiple_of(heads), "heads {heads} must divide dim {dim}");
+        Self::with_head_dim(store, rng, name, dim, heads, dim / heads)
+    }
+
+    /// Construct with explicit head geometry (used by the TP shards, where
+    /// `heads · head_dim < dim`).
+    pub fn with_head_dim(
+        store: &mut ParamStore,
+        rng: &mut Rng,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        head_dim: usize,
+    ) -> Self {
+        let inner = heads * head_dim;
+        MultiHeadAttention {
+            wq: Linear::new(store, rng, &format!("{name}.wq"), dim, inner, true),
+            wk: Linear::new(store, rng, &format!("{name}.wk"), dim, inner, true),
+            wv: Linear::new(store, rng, &format!("{name}.wv"), dim, inner, true),
+            wo: Linear::new(store, rng, &format!("{name}.wo"), inner, dim, true),
+            heads,
+            dim,
+            head_dim,
+            inner_dim: inner,
+        }
+    }
+
+    /// `[B, S, inner] -> [B·H, S, dh]` head split.
+    fn split_heads(&self, bind: &dyn Binder, x: &Var) -> Var {
+        let tape = bind.tape();
+        let (b, s) = (x.dims()[0], x.dims()[1]);
+        let r = tape.reshape(x, &[b, s, self.heads, self.head_dim]);
+        let sw = tape.swap_axes12(&r); // [B, H, S, dh]
+        tape.reshape(&sw, &[b * self.heads, s, self.head_dim])
+    }
+
+    /// `[B·H, S, dh] -> [B, S, inner]` head merge.
+    fn merge_heads(&self, bind: &dyn Binder, x: &Var, b: usize) -> Var {
+        let tape = bind.tape();
+        let s = x.dims()[1];
+        let r = tape.reshape(x, &[b, self.heads, s, self.head_dim]);
+        let sw = tape.swap_axes12(&r); // [B, S, H, dh]
+        tape.reshape(&sw, &[b, s, self.inner_dim])
+    }
+
+    /// Self-attention over the middle axis of `[B, S, D]`.
+    pub fn forward(&self, bind: &dyn Binder, x: &Var) -> Var {
+        self.forward_kv(bind, x, x)
+    }
+
+    /// Cross-attention: queries from `q_in` `[B, Sq, D]`, keys/values from
+    /// `kv_in` `[B, Sk, D]`. Output `[B, Sq, D]`.
+    pub fn forward_kv(&self, bind: &dyn Binder, q_in: &Var, kv_in: &Var) -> Var {
+        let tape = bind.tape();
+        let b = q_in.dims()[0];
+        assert_eq!(kv_in.dims()[0], b, "batch mismatch");
+
+        let q = self.split_heads(bind, &self.wq.forward(bind, q_in));
+        let k = self.split_heads(bind, &self.wk.forward(bind, kv_in));
+        let v = self.split_heads(bind, &self.wv.forward(bind, kv_in));
+
+        let scores = tape.bmm_nt(&q, &k); // [B·H, Sq, Sk]
+        let scaled = tape.scale(&scores, 1.0 / (self.head_dim as f32).sqrt());
+        let attn = tape.softmax_last(&scaled);
+        let ctx = tape.bmm(&attn, &v); // [B·H, Sq, dh]
+
+        let merged = self.merge_heads(bind, &ctx, b);
+        self.wo.forward(bind, &merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchag_tensor::autograd::check::grad_check;
+
+    fn mha(dim: usize, heads: usize) -> (ParamStore, MultiHeadAttention, Rng) {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(7);
+        let m = MultiHeadAttention::new(&mut store, &mut rng, "attn", dim, heads);
+        (store, m, rng)
+    }
+
+    #[test]
+    fn self_attention_shape_preserved() {
+        let (store, m, mut rng) = mha(16, 4);
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &store);
+        let x = tape.leaf(Tensor::randn([2, 5, 16], 1.0, &mut rng));
+        let y = m.forward(&bind, &x);
+        assert_eq!(y.dims(), &[2, 5, 16]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn cross_attention_output_follows_query_length() {
+        let (store, m, mut rng) = mha(16, 4);
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &store);
+        let q = tape.leaf(Tensor::randn([2, 3, 16], 1.0, &mut rng));
+        let kv = tape.leaf(Tensor::randn([2, 9, 16], 1.0, &mut rng));
+        let y = m.forward_kv(&bind, &q, &kv);
+        assert_eq!(y.dims(), &[2, 3, 16]);
+    }
+
+    #[test]
+    fn permutation_of_kv_tokens_is_equivariant_for_uniform_values() {
+        // With identical K/V tokens, attention output is independent of Sk
+        // ordering; stronger: for *any* kv permutation, output is unchanged
+        // because softmax-weighted sums are permutation invariant.
+        let (store, m, mut rng) = mha(8, 2);
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &store);
+        let q = tape.leaf(Tensor::randn([1, 2, 8], 1.0, &mut rng));
+        let kv_data = Tensor::randn([1, 4, 8], 1.0, &mut rng);
+        let kv = tape.leaf(kv_data.clone());
+        let y1 = m.forward_kv(&bind, &q, &kv);
+
+        // permute tokens 0..4 -> [2,0,3,1]
+        let perm = [2usize, 0, 1, 3];
+        let mut permuted = vec![0.0; 32];
+        for (i, &pi) in perm.iter().enumerate() {
+            permuted[i * 8..(i + 1) * 8].copy_from_slice(&kv_data.data()[pi * 8..(pi + 1) * 8]);
+        }
+        let kv2 = tape.leaf(Tensor::from_vec(permuted, [1, 4, 8]));
+        let y2 = m.forward_kv(&bind, &q, &kv2);
+        assert!(y1.value().max_abs_diff(y2.value()) < 1e-5);
+    }
+
+    #[test]
+    fn attention_gradcheck_small() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(3);
+        let m = MultiHeadAttention::new(&mut store, &mut rng, "a", 4, 2);
+        let x0 = Tensor::randn([1, 3, 4], 0.5, &mut rng);
+        grad_check(
+            &[x0],
+            |tape, leaves| {
+                let bind = LocalBinder::new(tape, &store);
+                let y = m.forward(&bind, &leaves[0]);
+                tape.sum_all(&tape.mul(&y, &y))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn tp_sharded_geometry_allowed() {
+        // 2 of 4 logical heads on this "rank": inner = 8 < dim = 16.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::new(5);
+        let m = MultiHeadAttention::with_head_dim(&mut store, &mut rng, "a", 16, 2, 4);
+        assert_eq!(m.inner_dim, 8);
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &store);
+        let x = tape.leaf(Tensor::randn([1, 3, 16], 1.0, &mut rng));
+        let y = m.forward(&bind, &x);
+        assert_eq!(y.dims(), &[1, 3, 16]);
+    }
+}

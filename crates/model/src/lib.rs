@@ -1,0 +1,37 @@
+//! # dchag-model
+//!
+//! The multi-channel vision foundation-model architecture the D-CHAG paper
+//! targets (its Fig. 1): per-channel patch tokenization, cross-channel
+//! aggregation (flat or hierarchical, cross-attention or linear units),
+//! special tokens, a ViT encoder, and the two evaluation task heads —
+//! masked-autoencoder pretraining and ClimaX-style weather forecasting.
+//!
+//! Everything here is single-device; the distributed decompositions live in
+//! `dchag-parallel` (TP / FSDP / DP) and `dchag-core` (D-CHAG itself) and
+//! are tested for equivalence against these modules.
+
+pub mod aggregation;
+pub mod attention;
+pub mod climax;
+pub mod config;
+pub mod embeddings;
+pub mod encoder;
+pub mod hierarchy;
+pub mod layers;
+pub mod mae;
+pub mod optim;
+pub mod tokenizer;
+pub mod vit;
+
+pub use aggregation::{AggUnit, CrossAttnAggregator, LinearChannelMix};
+pub use attention::MultiHeadAttention;
+pub use climax::{latitude_rmse, ClimaxModel};
+pub use config::{ModelConfig, TreeConfig, UnitKind};
+pub use embeddings::{latitude_weights, ChannelEmbed, MetaToken, PosEmbed};
+pub use encoder::FmEncoder;
+pub use hierarchy::{HierarchicalAggregator, TreePlan};
+pub use layers::{LayerNorm, Linear, Mlp};
+pub use mae::{MaeModel, PatchMask};
+pub use optim::{clip_global_norm, AdamW};
+pub use tokenizer::PatchTokenizer;
+pub use vit::{TransformerBlock, ViTEncoder};

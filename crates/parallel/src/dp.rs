@@ -1,0 +1,135 @@
+//! Data parallelism: replicated parameters, per-rank batch shards, and one
+//! bucketed gradient AllReduce at the end of the backward pass (paper §2.2:
+//! "lightweight communication via AllReduce occurs at the end of the
+//! backward pass").
+
+use dchag_collectives::Communicator;
+use dchag_tensor::ops;
+use dchag_tensor::Tensor;
+
+/// One rank's handle to a data-parallel replica group.
+#[derive(Clone)]
+pub struct DataParallel {
+    pub comm: Communicator,
+}
+
+impl DataParallel {
+    pub fn new(comm: Communicator) -> Self {
+        DataParallel { comm }
+    }
+
+    /// This rank's slice of a global batch along axis 0.
+    pub fn shard_batch(&self, batch: &Tensor) -> Tensor {
+        let n = self.comm.size();
+        let b = batch.dims()[0];
+        assert!(b.is_multiple_of(n), "batch {b} not divisible by DP size {n}");
+        let per = b / n;
+        ops::slice(batch, 0, self.comm.rank() * per, per)
+    }
+
+    /// Average gradients across replicas with a *single* bucketed
+    /// AllReduce: all Some-gradients are flattened into one buffer in
+    /// parameter order, reduced, and unflattened in place.
+    ///
+    /// The Some/None pattern must be identical across ranks (it is, because
+    /// every replica runs the same program).
+    pub fn sync_grads(&self, grads: &mut [Option<Tensor>]) {
+        if self.comm.size() == 1 {
+            return;
+        }
+        let total: usize = grads.iter().flatten().map(|g| g.numel()).sum();
+        if total == 0 {
+            return;
+        }
+        let mut flat = Vec::with_capacity(total);
+        for g in grads.iter().flatten() {
+            flat.extend_from_slice(g.data());
+        }
+        let reduced = self.comm.all_reduce_mean(&Tensor::from_vec(flat, [total]));
+        let mut off = 0;
+        for g in grads.iter_mut().flatten() {
+            let n = g.numel();
+            let chunk = reduced.data()[off..off + n].to_vec();
+            *g = Tensor::from_vec(chunk, g.shape().clone());
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchag_collectives::{run_ranks, CollOp};
+    use dchag_tensor::Rng;
+
+    #[test]
+    fn shard_batch_partitions_rows() {
+        let run = run_ranks(2, |ctx| {
+            let dp = DataParallel::new(ctx.comm.clone());
+            let batch = Tensor::arange(8).reshape(&[4, 2]);
+            dp.shard_batch(&batch).to_vec()
+        });
+        assert_eq!(run.outputs[0], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(run.outputs[1], vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn sync_grads_averages_and_preserves_none() {
+        let run = run_ranks(2, |ctx| {
+            let dp = DataParallel::new(ctx.comm.clone());
+            let r = ctx.comm.rank() as f32;
+            let mut grads = vec![
+                Some(Tensor::full([2], r)),        // avg -> 0.5
+                None,
+                Some(Tensor::full([3], 2.0 * r)),  // avg -> 1.0
+            ];
+            dp.sync_grads(&mut grads);
+            (
+                grads[0].as_ref().unwrap().to_vec(),
+                grads[1].is_none(),
+                grads[2].as_ref().unwrap().to_vec(),
+            )
+        });
+        for (g0, none1, g2) in run.outputs {
+            assert_eq!(g0, vec![0.5, 0.5]);
+            assert!(none1);
+            assert_eq!(g2, vec![1.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn sync_is_single_allreduce() {
+        let run = run_ranks(4, |ctx| {
+            let dp = DataParallel::new(ctx.comm.clone());
+            let mut grads: Vec<Option<Tensor>> =
+                (0..10).map(|_| Some(Tensor::ones([16]))).collect();
+            dp.sync_grads(&mut grads);
+            ctx.comm.traffic().count(CollOp::AllReduce)
+        });
+        assert_eq!(run.outputs[0], 1, "bucketed into one collective");
+    }
+
+    #[test]
+    fn replicas_agree_after_sync() {
+        let mut rng = Rng::new(3);
+        let per_rank: Vec<Tensor> = (0..2).map(|_| Tensor::randn([8], 1.0, &mut rng)).collect();
+        let run = run_ranks(2, |ctx| {
+            let dp = DataParallel::new(ctx.comm.clone());
+            let mut grads = vec![Some(per_rank[ctx.comm.rank()].clone())];
+            dp.sync_grads(&mut grads);
+            grads[0].as_ref().unwrap().to_vec()
+        });
+        assert_eq!(run.outputs[0], run.outputs[1]);
+    }
+
+    #[test]
+    fn single_rank_sync_is_noop_no_comm() {
+        let run = run_ranks(1, |ctx| {
+            let dp = DataParallel::new(ctx.comm.clone());
+            let mut grads = vec![Some(Tensor::ones([4]))];
+            dp.sync_grads(&mut grads);
+            ctx.comm.traffic().count(CollOp::AllReduce)
+        });
+        assert_eq!(run.outputs[0], 0);
+    }
+}

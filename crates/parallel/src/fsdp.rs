@@ -1,0 +1,302 @@
+//! Fully-sharded data parallelism (paper §3.4; Zhao et al. 2023).
+//!
+//! Parameters, gradients and optimizer state are flattened and sharded
+//! across the FSDP group. The binder AllGathers a parameter's shards the
+//! first time a layer binds it in the forward pass; the registered adjoint
+//! ReduceScatters the gradient so each rank keeps only its shard. Optimizer
+//! state (Adam moments) therefore lives entirely on shards — the memory
+//! saving that motivates FSDP.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dchag_collectives::Communicator;
+use dchag_tensor::ops;
+use dchag_tensor::prelude::*;
+
+/// Metadata for one sharded parameter.
+#[derive(Clone, Debug)]
+struct ParamMeta {
+    name: String,
+    dims: Vec<usize>,
+    numel: usize,
+    /// Padded length (multiple of the group size).
+    padded: usize,
+}
+
+/// The sharded parameter state owned by one rank.
+pub struct FsdpParams {
+    comm: Communicator,
+    metas: Vec<ParamMeta>,
+    /// Local 1-D shards, one per parameter, stored in a ParamStore so the
+    /// stock AdamW can drive updates over shards directly.
+    pub shard_store: ParamStore,
+    shard_ids: Vec<ParamId>,
+}
+
+impl FsdpParams {
+    /// Shard a fully-materialized store (every rank must pass an identical
+    /// one — enforced by seeded construction).
+    pub fn from_store(store: &ParamStore, comm: &Communicator) -> Self {
+        let n = comm.size();
+        let rank = comm.rank();
+        let mut metas = Vec::with_capacity(store.len());
+        let mut shard_store = ParamStore::new();
+        let mut shard_ids = Vec::with_capacity(store.len());
+        for (_, name, value) in store.iter() {
+            let numel = value.numel();
+            let padded = numel.div_ceil(n) * n;
+            let shard_len = padded / n;
+            let mut flat = value.to_vec();
+            flat.resize(padded, 0.0);
+            let local = flat[rank * shard_len..(rank + 1) * shard_len].to_vec();
+            metas.push(ParamMeta {
+                name: name.to_string(),
+                dims: value.dims().to_vec(),
+                numel,
+                padded,
+            });
+            shard_ids.push(shard_store.add(format!("{name}.shard"), Tensor::from_vec(local, [shard_len])));
+        }
+        FsdpParams {
+            comm: comm.clone(),
+            metas,
+            shard_store,
+            shard_ids,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Total *local* parameter scalars (≈ full / group size).
+    pub fn local_scalars(&self) -> usize {
+        self.shard_store.num_params()
+    }
+
+    /// Materialize the full value of parameter `i` (AllGather).
+    pub fn gather_full(&self, i: usize) -> Tensor {
+        let meta = &self.metas[i];
+        let shard = self.shard_store.get(self.shard_ids[i]);
+        let full_padded = self.comm.all_gather_cat(shard, 0);
+        let flat = ops::slice(&full_padded, 0, 0, meta.numel);
+        flat.reshape(&meta.dims)
+    }
+
+    /// Name of parameter `i` (diagnostics).
+    pub fn name(&self, i: usize) -> &str {
+        &self.metas[i].name
+    }
+}
+
+/// Binder that gathers shards on demand and reduce-scatters gradients.
+pub struct FsdpBinder<'a> {
+    tape: &'a Tape,
+    params: &'a FsdpParams,
+    bound: RefCell<Vec<Option<Var>>>,
+    stash: Rc<RefCell<Vec<Option<Tensor>>>>,
+}
+
+impl<'a> FsdpBinder<'a> {
+    pub fn new(tape: &'a Tape, params: &'a FsdpParams) -> Self {
+        FsdpBinder {
+            tape,
+            params,
+            bound: RefCell::new(vec![None; params.len()]),
+            stash: Rc::new(RefCell::new(vec![None; params.len()])),
+        }
+    }
+
+    /// Local *shard* gradients captured during backward (same indexing as
+    /// the shard store). Call after `tape.backward`.
+    pub fn sharded_grads(&self) -> Vec<Option<Tensor>> {
+        self.stash.borrow().clone()
+    }
+}
+
+impl Binder for FsdpBinder<'_> {
+    fn tape(&self) -> &Tape {
+        self.tape
+    }
+
+    fn bind(&self, id: ParamId) -> Var {
+        let i = id.index();
+        if let Some(v) = &self.bound.borrow()[i] {
+            return v.clone();
+        }
+        let full = self.params.gather_full(i);
+        let meta_padded = self.params.metas[i].padded;
+        let meta_numel = self.params.metas[i].numel;
+        let comm = self.params.comm.clone();
+        let stash = self.stash.clone();
+        let v = self.tape.custom(full, move |g, emit| {
+            let _ = &emit; // gradient terminates here: it belongs to a shard, not a tape node
+            let mut flat = g.to_vec();
+            flat.resize(meta_padded, 0.0);
+            let shard = comm.reduce_scatter_sum(&Tensor::from_vec(flat, [meta_padded]));
+            let _ = meta_numel;
+            stash.borrow_mut()[i] = Some(shard);
+        });
+        self.bound.borrow_mut()[i] = Some(v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchag_collectives::{run_ranks, CollOp};
+    use dchag_model::layers::Linear;
+    use dchag_model::AdamW;
+
+    /// Build the same two-layer model on every rank.
+    fn build_model(store: &mut ParamStore, rng: &mut Rng) -> (Linear, Linear) {
+        let l1 = Linear::new(store, rng, "l1", 4, 8, true);
+        let l2 = Linear::new(store, rng, "l2", 8, 2, true);
+        (l1, l2)
+    }
+
+    #[test]
+    fn shards_tile_parameters() {
+        let run = run_ranks(2, |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let _ = build_model(&mut store, &mut rng);
+            let fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            // gather_full must reproduce the original values
+            let mut diffs = Vec::new();
+            for (i, (_, _, value)) in store.iter().enumerate() {
+                diffs.push(fsdp.gather_full(i).max_abs_diff(value));
+            }
+            diffs
+        });
+        for diffs in run.outputs {
+            assert!(diffs.iter().all(|&d| d == 0.0), "{diffs:?}");
+        }
+    }
+
+    #[test]
+    fn local_scalars_shrink_with_group() {
+        let full = {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let _ = build_model(&mut store, &mut rng);
+            store.num_params()
+        };
+        let run = run_ranks(4, move |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let _ = build_model(&mut store, &mut rng);
+            FsdpParams::from_store(&store, &ctx.comm).local_scalars()
+        });
+        for local in run.outputs {
+            assert!(local <= full.div_ceil(4) + 8, "local {local} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn fsdp_training_step_matches_dp_mean_grad() {
+        // Two ranks, different data; FSDP sharded-Adam step must equal the
+        // single-device step on the concatenated batch (grads averaged).
+        let mut drng = Rng::new(77);
+        let xs: Vec<Tensor> = (0..2).map(|_| Tensor::randn([3, 4], 1.0, &mut drng)).collect();
+        let x_all = ops::concat(&[&xs[0], &xs[1]], 0);
+
+        // single-device reference: loss = mean over all 6 rows
+        let mut ref_store = ParamStore::new();
+        let mut rng = Rng::new(5);
+        let (l1, l2) = build_model(&mut ref_store, &mut rng);
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &ref_store);
+        let xv = tape.leaf(x_all.clone());
+        let y = l2.forward(&bind, &tape.gelu(&l1.forward(&bind, &xv)));
+        let loss = tape.mean_all(&tape.mul(&y, &y));
+        let grads = tape.backward(&loss);
+        let pg = bind.grads(&grads);
+        let mut opt = AdamW::new(0.01);
+        opt.step(&mut ref_store, &pg);
+        let want: Vec<Vec<f32>> = ref_store.iter().map(|(_, _, v)| v.to_vec()).collect();
+
+        let run = run_ranks(2, |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let (l1, l2) = build_model(&mut store, &mut rng);
+            let mut fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let tape = Tape::new();
+            let bind = FsdpBinder::new(&tape, &fsdp);
+            let xv = tape.leaf(xs[ctx.comm.rank()].clone());
+            let y = l2.forward(&bind, &tape.gelu(&l1.forward(&bind, &xv)));
+            // per-rank mean over 3 rows; global mean = mean of means here
+            // because shards sum: scale by 1/world to form the average.
+            let loss = tape.mean_all(&tape.mul(&y, &y));
+            let loss = tape.scale(&loss, 1.0 / ctx.comm.size() as f32);
+            let grads = tape.backward(&loss);
+            drop(grads);
+            let g = bind.sharded_grads();
+            let mut opt = AdamW::new(0.01);
+            opt.step(&mut fsdp.shard_store, &g);
+            // reconstruct full params for comparison
+            (0..fsdp.len())
+                .map(|i| fsdp.gather_full(i).to_vec())
+                .collect::<Vec<_>>()
+        });
+        for got in run.outputs {
+            for (g, w) in got.iter().zip(&want) {
+                for (a, b) in g.iter().zip(w) {
+                    assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_gathers_backward_reduce_scatters() {
+        let run = run_ranks(2, |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let (l1, _) = build_model(&mut store, &mut rng);
+            let fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let tape = Tape::new();
+            let bind = FsdpBinder::new(&tape, &fsdp);
+            let xv = tape.leaf(Tensor::ones([2, 4]));
+            let y = l1.forward(&bind, &xv);
+            let loss = tape.sum_all(&y);
+            let mid = ctx.comm.traffic().cursor();
+            let _ = tape.backward(&loss);
+            ctx.comm.barrier();
+            let rs = ctx
+                .comm
+                .traffic()
+                .since(mid)
+                .iter()
+                .filter(|e| e.op == CollOp::ReduceScatter)
+                .count();
+            (ctx.comm.traffic().count(CollOp::AllGather), rs)
+        });
+        // l1 has w+b = 2 params -> 2 gathers in forward, 2 reduce-scatters in backward (per world)
+        assert_eq!(run.outputs[0].0, 2);
+        assert_eq!(run.outputs[0].1, 2);
+    }
+
+    #[test]
+    fn binder_caches_single_gather_per_param() {
+        let run = run_ranks(2, |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let (l1, _) = build_model(&mut store, &mut rng);
+            let fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let tape = Tape::new();
+            let bind = FsdpBinder::new(&tape, &fsdp);
+            let xv = tape.leaf(Tensor::ones([1, 4]));
+            let _ = l1.forward(&bind, &xv);
+            let _ = l1.forward(&bind, &xv); // reuse
+            ctx.comm.traffic().count(CollOp::AllGather)
+        });
+        assert_eq!(run.outputs[0], 2, "w and b gathered once each");
+    }
+}

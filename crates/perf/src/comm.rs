@@ -1,0 +1,109 @@
+//! α-β collective cost model over the two-level Frontier interconnect.
+//!
+//! Ring algorithms; a group that fits inside one node runs on Infinity
+//! Fabric, anything spanning nodes is bottlenecked by the per-GPU share of
+//! Slingshot injection bandwidth.
+
+use crate::hw::MachineSpec;
+
+/// Which fabric a group's ring traverses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wire {
+    Intra,
+    Inter,
+}
+
+/// Fabric for a group of `g` contiguous ranks (TP-fastest layouts keep
+/// groups contiguous, so a group ≤ node size is intra-node).
+pub fn wire_for_group(machine: &MachineSpec, group: usize, contiguous: bool) -> Wire {
+    if contiguous && group <= machine.gpus_per_node {
+        Wire::Intra
+    } else {
+        Wire::Inter
+    }
+}
+
+fn bw(machine: &MachineSpec, wire: Wire) -> f64 {
+    match wire {
+        Wire::Intra => machine.intra_bw,
+        Wire::Inter => machine.inter_bw,
+    }
+}
+
+fn alpha(machine: &MachineSpec, wire: Wire) -> f64 {
+    match wire {
+        Wire::Intra => machine.alpha_intra,
+        Wire::Inter => machine.alpha_inter,
+    }
+}
+
+/// Ring AllGather where each rank contributes `bytes`: every rank receives
+/// `(g−1)·bytes` over `g−1` steps.
+pub fn allgather_time(machine: &MachineSpec, bytes: f64, g: usize, wire: Wire) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    let steps = (g - 1) as f64;
+    steps * (bytes / bw(machine, wire) + alpha(machine, wire))
+}
+
+/// Ring ReduceScatter of a `bytes`-sized buffer per rank.
+pub fn reduce_scatter_time(machine: &MachineSpec, bytes: f64, g: usize, wire: Wire) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    let steps = (g - 1) as f64;
+    steps * (bytes / g as f64 / bw(machine, wire) + alpha(machine, wire))
+}
+
+/// Ring AllReduce = ReduceScatter + AllGather of the chunked buffer.
+pub fn allreduce_time(machine: &MachineSpec, bytes: f64, g: usize, wire: Wire) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    let steps = (g - 1) as f64;
+    2.0 * steps * (bytes / g as f64 / bw(machine, wire) + alpha(machine, wire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineSpec {
+        MachineSpec::frontier()
+    }
+
+    #[test]
+    fn single_rank_collectives_free() {
+        assert_eq!(allgather_time(&m(), 1e9, 1, Wire::Intra), 0.0);
+        assert_eq!(allreduce_time(&m(), 1e9, 1, Wire::Inter), 0.0);
+    }
+
+    #[test]
+    fn inter_node_slower_than_intra() {
+        let s = 100e6;
+        assert!(allreduce_time(&m(), s, 8, Wire::Inter) > allreduce_time(&m(), s, 8, Wire::Intra));
+    }
+
+    #[test]
+    fn allreduce_twice_reduce_scatter() {
+        let s = 64e6;
+        let rs = reduce_scatter_time(&m(), s, 8, Wire::Intra);
+        let ar = allreduce_time(&m(), s, 8, Wire::Intra);
+        assert!((ar - 2.0 * rs).abs() / ar < 1e-9);
+    }
+
+    #[test]
+    fn wire_selection_by_node_boundary() {
+        assert_eq!(wire_for_group(&m(), 8, true), Wire::Intra);
+        assert_eq!(wire_for_group(&m(), 16, true), Wire::Inter);
+        assert_eq!(wire_for_group(&m(), 2, false), Wire::Inter);
+    }
+
+    #[test]
+    fn bandwidth_term_dominates_large_messages() {
+        let small = allgather_time(&m(), 1e3, 8, Wire::Intra);
+        let large = allgather_time(&m(), 1e9, 8, Wire::Intra);
+        assert!(large > 100.0 * small);
+    }
+}

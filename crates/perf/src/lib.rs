@@ -1,0 +1,29 @@
+//! # dchag-perf
+//!
+//! Calibrated analytical performance model of D-CHAG on a Frontier-like
+//! machine. The paper's at-scale results (memory footprints, OOM
+//! boundaries, TFLOP/s) are closed-form functions of the model
+//! configuration, the parallel strategy, and the node topology; this crate
+//! evaluates those functions so the evaluation figures can be regenerated
+//! without 1,024 MI250X GCDs.
+//!
+//! Calibration anchors (asserted in this crate's tests and the integration
+//! suite) come from the paper's stated fit/no-fit boundaries; the *shapes*
+//! of every figure — who wins, by what factor, where the crossovers sit —
+//! are derived from the model, not transcribed.
+
+pub mod comm;
+pub mod flops;
+pub mod hw;
+pub mod memory;
+pub mod report;
+pub mod strategy;
+pub mod throughput;
+
+pub use comm::{allgather_time, allreduce_time, reduce_scatter_time, Wire};
+pub use flops::{flops_per_gpu, FlopsBreakdown};
+pub use hw::{GpuSpec, MachineSpec};
+pub use memory::{Component, MemBreakdown, MemoryModel};
+pub use report::{gb, pct, pct_gain, Table};
+pub use strategy::{ChannelPlan, Strategy};
+pub use throughput::{StepEstimate, ThroughputModel};

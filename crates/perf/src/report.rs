@@ -1,0 +1,115 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple aligned table with a title, headers, and rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (assumptions, paper comparison).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format bytes as GB with one decimal.
+pub fn gb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1e9)
+}
+
+/// Format a ratio as a percentage gain string, e.g. "+62%".
+pub fn pct_gain(gain: f64) -> String {
+    format!("{}{:.0}%", if gain >= 0.0 { "+" } else { "" }, gain * 100.0)
+}
+
+/// Format a fraction as percent.
+pub fn pct(frac: f64) -> String {
+    format!("{:.0}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "22".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a-much-longer-name"));
+        assert!(s.contains("note: hello"));
+        // header aligned to widest row
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(gb(64e9), "64.0");
+        assert_eq!(pct_gain(0.62), "+62%");
+        assert_eq!(pct_gain(-0.05), "-5%");
+        assert_eq!(pct(0.55), "55%");
+    }
+}

@@ -1,0 +1,150 @@
+//! Parallel-strategy descriptors for the analytical model.
+
+use dchag_model::config::TreeConfig;
+
+/// How channel tokenization + aggregation are organized.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChannelPlan {
+    /// Every TP rank tokenizes and aggregates all channels (TP baseline,
+    /// paper Fig. 2 top).
+    Replicated,
+    /// Distributed tokenization alone (§3.1): tokenize `C/tp` channels,
+    /// AllGather the full token tensor, aggregate flat.
+    DistTokenOnly,
+    /// Full D-CHAG (§3.3): distributed tokenization + per-rank partial
+    /// hierarchical aggregation + one-token AllGather + shared final layer.
+    DChag(TreeConfig),
+}
+
+impl ChannelPlan {
+    pub fn name(&self) -> String {
+        match self {
+            ChannelPlan::Replicated => "TP".to_string(),
+            ChannelPlan::DistTokenOnly => "TP+DistTok".to_string(),
+            ChannelPlan::DChag(t) => format!("D-CHAG {}", t.name()),
+        }
+    }
+}
+
+/// A full parallel configuration: channel plan × TP × FSDP × DP plus the
+/// per-GPU micro-batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Strategy {
+    pub plan: ChannelPlan,
+    pub tp: usize,
+    pub fsdp: usize,
+    pub dp: usize,
+    /// Micro-batch per model instance (each TP group processes one
+    /// micro-batch; FSDP/DP groups each process their own).
+    pub micro_batch: usize,
+}
+
+impl Strategy {
+    /// Plain tensor parallelism (the paper's baseline).
+    pub fn tp(tp: usize, micro_batch: usize) -> Self {
+        Strategy {
+            plan: ChannelPlan::Replicated,
+            tp,
+            fsdp: 1,
+            dp: 1,
+            micro_batch,
+        }
+    }
+
+    /// TP with distributed tokenization only (§3.1).
+    pub fn dist_token(tp: usize, micro_batch: usize) -> Self {
+        Strategy {
+            plan: ChannelPlan::DistTokenOnly,
+            ..Self::tp(tp, micro_batch)
+        }
+    }
+
+    /// D-CHAG + TP (§3.3).
+    pub fn dchag(tree: TreeConfig, tp: usize, micro_batch: usize) -> Self {
+        Strategy {
+            plan: ChannelPlan::DChag(tree),
+            ..Self::tp(tp, micro_batch)
+        }
+    }
+
+    /// FSDP-only sharding (tp = 1).
+    pub fn fsdp(shards: usize, micro_batch: usize) -> Self {
+        Strategy {
+            plan: ChannelPlan::Replicated,
+            tp: 1,
+            fsdp: shards,
+            dp: 1,
+            micro_batch,
+        }
+    }
+
+    pub fn with_fsdp(mut self, fsdp: usize) -> Self {
+        self.fsdp = fsdp;
+        self
+    }
+
+    pub fn with_dp(mut self, dp: usize) -> Self {
+        self.dp = dp;
+        self
+    }
+
+    pub fn with_batch(mut self, b: usize) -> Self {
+        self.micro_batch = b;
+        self
+    }
+
+    /// Total GPUs used.
+    pub fn gpus(&self) -> usize {
+        self.tp * self.fsdp * self.dp
+    }
+
+    /// Global batch per step.
+    pub fn global_batch(&self) -> usize {
+        self.micro_batch * self.fsdp * self.dp
+    }
+
+    pub fn name(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        match self.plan {
+            ChannelPlan::Replicated => {}
+            ChannelPlan::DistTokenOnly => parts.push("DistTok".to_string()),
+            ChannelPlan::DChag(t) => parts.push(format!("D-CHAG {}", t.name())),
+        }
+        if self.tp > 1 {
+            parts.push(format!("TP{}", self.tp));
+        }
+        if self.fsdp > 1 {
+            parts.push(format!("FSDP{}", self.fsdp));
+        }
+        if self.dp > 1 {
+            parts.push(format!("DP{}", self.dp));
+        }
+        if parts.is_empty() {
+            "Single-GPU".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dchag_model::config::UnitKind;
+
+    #[test]
+    fn gpu_and_batch_accounting() {
+        let s = Strategy::tp(4, 2).with_fsdp(2).with_dp(8);
+        assert_eq!(s.gpus(), 64);
+        assert_eq!(s.global_batch(), 32);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let s = Strategy::dchag(TreeConfig::tree0(UnitKind::Linear), 8, 1).with_dp(4);
+        assert_eq!(s.name(), "D-CHAG Tree0-L+TP8+DP4");
+        assert_eq!(Strategy::tp(16, 2).name(), "TP16");
+        assert_eq!(Strategy::fsdp(8, 2).name(), "FSDP8");
+        assert_eq!(Strategy::tp(1, 2).name(), "Single-GPU");
+    }
+}

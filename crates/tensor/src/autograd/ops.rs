@@ -1,0 +1,440 @@
+//! Differentiable operation constructors on [`Tape`].
+//!
+//! Each method runs the forward kernel from [`crate::ops`] immediately and
+//! records a closure implementing the adjoint. Saved tensors are `Arc`
+//! clones — no data is copied for bookkeeping.
+
+use super::{Tape, Var};
+use crate::ops as k;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tape {
+    // ----- arithmetic -------------------------------------------------------
+
+    pub fn add(&self, a: &Var, b: &Var) -> Var {
+        let (ia, ib) = (a.id, b.id);
+        self.custom(k::add(a.value(), b.value()), move |g, emit| {
+            emit(ia, g.clone());
+            emit(ib, g.clone());
+        })
+    }
+
+    pub fn sub(&self, a: &Var, b: &Var) -> Var {
+        let (ia, ib) = (a.id, b.id);
+        self.custom(k::sub(a.value(), b.value()), move |g, emit| {
+            emit(ia, g.clone());
+            emit(ib, k::scale(g, -1.0));
+        })
+    }
+
+    pub fn mul(&self, a: &Var, b: &Var) -> Var {
+        let (ia, ib) = (a.id, b.id);
+        let (va, vb) = (a.value().clone(), b.value().clone());
+        self.custom(k::mul(a.value(), b.value()), move |g, emit| {
+            emit(ia, k::mul(g, &vb));
+            emit(ib, k::mul(g, &va));
+        })
+    }
+
+    pub fn scale(&self, a: &Var, alpha: f32) -> Var {
+        let ia = a.id;
+        self.custom(k::scale(a.value(), alpha), move |g, emit| {
+            emit(ia, k::scale(g, alpha));
+        })
+    }
+
+    /// Broadcast-add a `[n]` bias over the last axis.
+    pub fn add_bias(&self, a: &Var, bias: &Var) -> Var {
+        let (ia, ib) = (a.id, bias.id);
+        self.custom(k::add_bias(a.value(), bias.value()), move |g, emit| {
+            emit(ia, g.clone());
+            emit(ib, k::sum_to_last(g));
+        })
+    }
+
+    /// Broadcast-multiply a `[n]` gain over the last axis.
+    pub fn mul_last(&self, a: &Var, gain: &Var) -> Var {
+        let (ia, ig) = (a.id, gain.id);
+        let (va, vg) = (a.value().clone(), gain.value().clone());
+        self.custom(k::mul_last(a.value(), gain.value()), move |g, emit| {
+            emit(ia, k::mul_last(g, &vg));
+            emit(ig, k::sum_to_last(&k::mul(g, &va)));
+        })
+    }
+
+    // ----- matmul family ----------------------------------------------------
+
+    /// `[..., k] × [k, n]`, leading axes of `a` folded (the Linear layer).
+    pub fn matmul(&self, a: &Var, b: &Var) -> Var {
+        let (ia, ib) = (a.id, b.id);
+        let (va, vb) = (a.value().clone(), b.value().clone());
+        self.custom(k::matmul(a.value(), b.value()), move |g, emit| {
+            // dA = dY · Bᵀ ; dB = Aᵀ · dY  (2-D folded forms)
+            let da = k::matmul_nt(g, &vb);
+            emit(ia, da.reshape(va.dims()));
+            emit(ib, k::matmul_tn(&va, g));
+        })
+    }
+
+    /// Batched `[B,m,k] × [B,k,n]`.
+    pub fn bmm(&self, a: &Var, b: &Var) -> Var {
+        let (ia, ib) = (a.id, b.id);
+        let (va, vb) = (a.value().clone(), b.value().clone());
+        self.custom(k::bmm(a.value(), b.value()), move |g, emit| {
+            // Y = A·B : dA = dY·Bᵀ (bmm_nt applies the transpose), dB = Aᵀ·dY.
+            emit(ia, k::bmm_nt(g, &vb));
+            emit(ib, k::bmm_tn(&va, g));
+        })
+    }
+
+    /// Batched `Q · Kᵀ`: `[B,m,d] × [B,n,d] -> [B,m,n]` (attention scores).
+    pub fn bmm_nt(&self, q: &Var, key: &Var) -> Var {
+        let (iq, ik) = (q.id, key.id);
+        let (vq, vk) = (q.value().clone(), key.value().clone());
+        self.custom(k::bmm_nt(q.value(), key.value()), move |g, emit| {
+            // Y = Q Kᵀ : dQ = dY · K ; dK = dYᵀ · Q
+            emit(iq, k::bmm(g, &vk));
+            emit(ik, k::bmm_tn(g, &vq));
+        })
+    }
+
+    // ----- activations / normalization --------------------------------------
+
+    pub fn gelu(&self, a: &Var) -> Var {
+        let ia = a.id;
+        let va = a.value().clone();
+        self.custom(k::gelu(a.value()), move |g, emit| {
+            let dx = va.zip(g, |x, gg| k::gelu_grad_scalar(x) * gg);
+            emit(ia, dx);
+        })
+    }
+
+    pub fn softmax_last(&self, a: &Var) -> Var {
+        let ia = a.id;
+        let y = k::softmax_last(a.value());
+        let y_saved = y.clone();
+        self.custom(y, move |g, emit| {
+            emit(ia, k::softmax_last_backward(&y_saved, g));
+        })
+    }
+
+    pub fn layernorm(&self, x: &Var, gamma: &Var, beta: &Var) -> Var {
+        let (ix, ig, ib) = (x.id, gamma.id, beta.id);
+        let (vx, vg) = (x.value().clone(), gamma.value().clone());
+        let (y, ctx) = k::layernorm(x.value(), gamma.value(), beta.value());
+        self.custom(y, move |g, emit| {
+            let (dx, dgamma, dbeta) = k::layernorm_backward(&vx, &vg, &ctx, g);
+            emit(ix, dx);
+            emit(ig, dgamma);
+            emit(ib, dbeta);
+        })
+    }
+
+    // ----- shape manipulation -----------------------------------------------
+
+    pub fn reshape(&self, a: &Var, dims: &[usize]) -> Var {
+        let ia = a.id;
+        let orig: Vec<usize> = a.value().dims().to_vec();
+        self.custom(a.value().reshape(dims), move |g, emit| {
+            emit(ia, g.reshape(&orig));
+        })
+    }
+
+    pub fn transpose_last2(&self, a: &Var) -> Var {
+        let ia = a.id;
+        self.custom(k::transpose_last2(a.value()), move |g, emit| {
+            emit(ia, k::transpose_last2(g));
+        })
+    }
+
+    pub fn swap_axes12(&self, a: &Var) -> Var {
+        let ia = a.id;
+        self.custom(k::swap_axes12(a.value()), move |g, emit| {
+            emit(ia, k::swap_axes12(g));
+        })
+    }
+
+    pub fn concat(&self, parts: &[&Var], axis: usize) -> Var {
+        let ids: Vec<usize> = parts.iter().map(|v| v.id).collect();
+        let sizes: Vec<usize> = parts.iter().map(|v| v.dims()[axis]).collect();
+        let tensors: Vec<&Tensor> = parts.iter().map(|v| v.value()).collect();
+        self.custom(k::concat(&tensors, axis), move |g, emit| {
+            let mut start = 0;
+            for (id, &len) in ids.iter().zip(&sizes) {
+                emit(*id, k::slice(g, axis, start, len));
+                start += len;
+            }
+        })
+    }
+
+    pub fn slice(&self, a: &Var, axis: usize, start: usize, len: usize) -> Var {
+        let ia = a.id;
+        let orig: Vec<usize> = a.value().dims().to_vec();
+        self.custom(k::slice(a.value(), axis, start, len), move |g, emit| {
+            emit(ia, k::slice_backward(g, &orig, axis, start));
+        })
+    }
+
+    /// Token selection along axis 1 of `[b, s, d]` with a shared index list.
+    pub fn select_axis1(&self, a: &Var, idx: &[usize]) -> Var {
+        let ia = a.id;
+        let s = a.dims()[1];
+        let idx = idx.to_vec();
+        self.custom(k::select_axis1(a.value(), &idx), move |g, emit| {
+            emit(ia, k::select_axis1_backward(g, &idx, s));
+        })
+    }
+
+    /// Row gather from a `[r, d]` embedding table.
+    pub fn gather_rows(&self, table: &Var, idx: &[usize]) -> Var {
+        let it = table.id;
+        let r = table.dims()[0];
+        let idx = idx.to_vec();
+        self.custom(k::gather_rows(table.value(), &idx), move |g, emit| {
+            emit(it, k::gather_rows_backward(g, &idx, r));
+        })
+    }
+
+    /// Broadcast `[s, d] -> [b, s, d]` (e.g. positional embeddings).
+    pub fn broadcast_to_batch(&self, a: &Var, b: usize) -> Var {
+        let ia = a.id;
+        self.custom(k::broadcast_to_batch(a.value(), b), move |g, emit| {
+            emit(ia, k::sum_over_batch(g));
+        })
+    }
+
+    // ----- reductions / losses ----------------------------------------------
+
+    pub fn sum_all(&self, a: &Var) -> Var {
+        let ia = a.id;
+        let shape = a.value().shape().clone();
+        self.custom(k::sum_all(a.value()), move |g, emit| {
+            emit(ia, Tensor::full(shape.clone(), g.item()));
+        })
+    }
+
+    pub fn mean_all(&self, a: &Var) -> Var {
+        let ia = a.id;
+        let shape = a.value().shape().clone();
+        let inv = 1.0 / a.value().numel() as f32;
+        self.custom(k::mean_all(a.value()), move |g, emit| {
+            emit(ia, Tensor::full(shape.clone(), g.item() * inv));
+        })
+    }
+
+    /// Mean over axis 1 of `[b, c, d] -> [b, d]` (mean pooling).
+    pub fn mean_axis1(&self, a: &Var) -> Var {
+        let ia = a.id;
+        let (b, c, d) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+        self.custom(k::mean_axis1(a.value()), move |g, emit| {
+            // broadcast g/c over the c axis
+            let inv = 1.0 / c as f32;
+            let mut out = vec![0.0f32; b * c * d];
+            for bi in 0..b {
+                let grow = &g.data()[bi * d..(bi + 1) * d];
+                for ci in 0..c {
+                    for (o, &gg) in out[(bi * c + ci) * d..(bi * c + ci + 1) * d]
+                        .iter_mut()
+                        .zip(grow)
+                    {
+                        *o = gg * inv;
+                    }
+                }
+            }
+            emit(ia, Tensor::from_vec(out, Shape::new(&[b, c, d])));
+        })
+    }
+
+    /// Mean squared error between `a` and `b` (scalar output).
+    pub fn mse(&self, a: &Var, b: &Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.mul(&d, &d);
+        self.mean_all(&sq)
+    }
+
+    /// MSE over only the entries where `mask == 1`, normalized by the mask
+    /// sum: `Σ mask·(a−b)² / Σ mask`. The mask is a constant.
+    pub fn masked_mse(&self, a: &Var, b: &Var, mask: &Tensor) -> Var {
+        let mask_sum = mask.sum().max(1.0);
+        let d = self.sub(a, b);
+        let sq = self.mul(&d, &d);
+        let m = self.constant(mask.clone());
+        let masked = self.mul(&sq, &m);
+        let s = self.sum_all(&masked);
+        self.scale(&s, 1.0 / mask_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::check::grad_check;
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn elementwise_gradchecks() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([3, 4], 0.7, &mut rng);
+        let b = Tensor::randn([3, 4], 0.7, &mut rng);
+        grad_check(
+            &[a.clone(), b.clone()],
+            |t, l| {
+                let x = t.mul(&l[0], &l[1]);
+                let y = t.sub(&x, &l[0]);
+                t.sum_all(&t.mul(&y, &y))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn bias_and_gain_gradcheck() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn([4, 5], 0.5, &mut rng);
+        let bias = Tensor::randn([5], 0.5, &mut rng);
+        let gain = Tensor::randn([5], 0.5, &mut rng);
+        grad_check(
+            &[x, bias, gain],
+            |t, l| {
+                let y = t.add_bias(&l[0], &l[1]);
+                let z = t.mul_last(&y, &l[2]);
+                t.sum_all(&t.mul(&z, &z))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn([2, 3, 4], 0.5, &mut rng);
+        let b = Tensor::randn([2, 4, 3], 0.5, &mut rng);
+        grad_check(
+            &[a, b],
+            |t, l| {
+                let y = t.bmm(&l[0], &l[1]);
+                t.sum_all(&t.mul(&y, &y))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn bmm_nt_gradcheck() {
+        let mut rng = Rng::new(4);
+        let q = Tensor::randn([2, 3, 4], 0.5, &mut rng);
+        let key = Tensor::randn([2, 5, 4], 0.5, &mut rng);
+        grad_check(
+            &[q, key],
+            |t, l| {
+                let s = t.bmm_nt(&l[0], &l[1]);
+                t.sum_all(&t.mul(&s, &s))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_gelu_layernorm_gradcheck() {
+        let mut rng = Rng::new(5);
+        let x = Tensor::randn([3, 6], 0.8, &mut rng);
+        let g = Tensor::randn([6], 0.3, &mut rng).map(|v| v + 1.0);
+        let b = Tensor::randn([6], 0.3, &mut rng);
+        grad_check(
+            &[x, g, b],
+            |t, l| {
+                let n = t.layernorm(&l[0], &l[1], &l[2]);
+                let a = t.gelu(&n);
+                let s = t.softmax_last(&a);
+                t.sum_all(&t.mul(&s, &s))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn concat_slice_gradcheck() {
+        let mut rng = Rng::new(6);
+        let a = Tensor::randn([2, 2, 3], 0.5, &mut rng);
+        let b = Tensor::randn([2, 4, 3], 0.5, &mut rng);
+        grad_check(
+            &[a, b],
+            |t, l| {
+                let c = t.concat(&[&l[0], &l[1]], 1);
+                let s = t.slice(&c, 1, 1, 4);
+                t.sum_all(&t.mul(&s, &s))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gather_select_gradcheck() {
+        let mut rng = Rng::new(7);
+        let table = Tensor::randn([6, 3], 0.5, &mut rng);
+        let x = Tensor::randn([2, 5, 3], 0.5, &mut rng);
+        grad_check(
+            &[table, x],
+            |t, l| {
+                let e = t.gather_rows(&l[0], &[0, 2, 2, 5]);
+                let v = t.select_axis1(&l[1], &[4, 0, 1]);
+                let se = t.sum_all(&t.mul(&e, &e));
+                let sv = t.sum_all(&t.mul(&v, &v));
+                t.add(&se, &sv)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn transpose_swap_gradcheck() {
+        let mut rng = Rng::new(8);
+        let a = Tensor::randn([2, 3, 2, 4], 0.5, &mut rng);
+        grad_check(
+            &[a],
+            |t, l| {
+                let s = t.swap_axes12(&l[0]);
+                let tt = t.transpose_last2(&s);
+                t.sum_all(&t.mul(&tt, &tt))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn mse_matches_manual() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0, 4.0], [2]));
+        let l = tape.mse(&a, &b);
+        assert!((l.value().item() - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        let grads = tape.backward(&l);
+        // d/da = 2(a-b)/n = [1, -2]
+        assert_eq!(grads.get(&a).unwrap().to_vec(), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn masked_mse_ignores_unmasked() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 100.0], [2]));
+        let b = tape.leaf(Tensor::from_vec(vec![0.0, -100.0], [2]));
+        let mask = Tensor::from_vec(vec![1.0, 0.0], [2]);
+        let l = tape.masked_mse(&a, &b, &mask);
+        assert!((l.value().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_axis1_gradcheck() {
+        let mut rng = Rng::new(9);
+        let a = Tensor::randn([2, 3, 4], 0.5, &mut rng);
+        grad_check(
+            &[a],
+            |t, l| {
+                let m = t.mean_axis1(&l[0]);
+                t.sum_all(&t.mul(&m, &m))
+            },
+            2e-2,
+        );
+    }
+}

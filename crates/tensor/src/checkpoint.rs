@@ -1,0 +1,238 @@
+//! Checkpointing: serialize a [`ParamStore`] to a compact self-describing
+//! binary format and restore it by name.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "DCHK" | version u32 | count u32
+//! per parameter: name_len u32 | name bytes | ndim u32 | dims u64... | f32 data
+//! ```
+//! Loading matches by *name* (order-independent) and verifies shapes, so a
+//! checkpoint survives refactors that reorder module construction. Ranks of
+//! a distributed run each save their own shard-local store.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::param::ParamStore;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"DCHK";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Serialize every parameter of `store` to `w`.
+pub fn save_store(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, store.len() as u32)?;
+    for (_, name, value) in store.iter() {
+        write_u32(w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        write_u32(w, value.ndim() as u32)?;
+        for &d in value.dims() {
+            write_u64(w, d as u64)?;
+        }
+        for &x in value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// One deserialized entry.
+pub struct CheckpointEntry {
+    pub name: String,
+    pub value: Tensor,
+}
+
+/// Read all entries from `r`.
+pub fn read_entries(r: &mut impl Read) -> io::Result<Vec<CheckpointEntry>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let ndim = read_u32(r)? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_u64(r)? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        let mut data = vec![0f32; numel];
+        for x in data.iter_mut() {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *x = f32::from_le_bytes(b);
+        }
+        out.push(CheckpointEntry {
+            name,
+            value: Tensor::from_vec(data, Shape::new(&dims)),
+        });
+    }
+    Ok(out)
+}
+
+/// Restore parameters into `store` by name. Returns the number restored.
+/// Errors if a named parameter has a mismatched shape; entries with no
+/// matching parameter are ignored (forward compatibility), as are store
+/// parameters absent from the checkpoint.
+pub fn load_store(store: &mut ParamStore, r: &mut impl Read) -> io::Result<usize> {
+    let entries = read_entries(r)?;
+    let mut restored = 0;
+    for entry in entries {
+        let id = store
+            .ids()
+            .find(|&id| store.name(id) == entry.name);
+        if let Some(id) = id {
+            if store.get(id).dims() != entry.value.dims() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shape mismatch for {}: checkpoint {:?} vs store {:?}",
+                        entry.name,
+                        entry.value.dims(),
+                        store.get(id).dims()
+                    ),
+                ));
+            }
+            store.set(id, entry.value);
+            restored += 1;
+        }
+    }
+    Ok(restored)
+}
+
+/// Save to a file path.
+pub fn save_to_file(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save_store(store, &mut f)
+}
+
+/// Load from a file path.
+pub fn load_from_file(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<usize> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_store(store, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn store_with(names: &[(&str, Vec<usize>)]) -> ParamStore {
+        let mut s = ParamStore::new();
+        let mut rng = Rng::new(3);
+        for (name, dims) in names {
+            s.add(*name, Tensor::randn(Shape::new(dims), 1.0, &mut rng));
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = store_with(&[("a.w", vec![4, 3]), ("a.b", vec![3]), ("ln.gamma", vec![8])]);
+        let mut buf = Vec::new();
+        save_store(&store, &mut buf).unwrap();
+
+        let mut fresh = store_with(&[("a.w", vec![4, 3]), ("a.b", vec![3]), ("ln.gamma", vec![8])]);
+        // perturb, then restore
+        let id = fresh.ids().next().unwrap();
+        fresh.set(id, Tensor::zeros([4, 3]));
+        let n = load_store(&mut fresh, &mut buf.as_slice()).unwrap();
+        assert_eq!(n, 3);
+        for ((_, _, a), (_, _, b)) in store.iter().zip(fresh.iter()) {
+            assert_eq!(a.to_vec(), b.to_vec());
+        }
+    }
+
+    #[test]
+    fn load_matches_by_name_not_order() {
+        let store = store_with(&[("x", vec![2]), ("y", vec![3])]);
+        let mut buf = Vec::new();
+        save_store(&store, &mut buf).unwrap();
+        // build target with reversed registration order
+        let mut target = store_with(&[("y", vec![3]), ("x", vec![2])]);
+        let n = load_store(&mut target, &mut buf.as_slice()).unwrap();
+        assert_eq!(n, 2);
+        let xid = target.ids().find(|&i| target.name(i) == "x").unwrap();
+        let want = store.ids().find(|&i| store.name(i) == "x").unwrap();
+        assert_eq!(target.get(xid).to_vec(), store.get(want).to_vec());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let store = store_with(&[("w", vec![4])]);
+        let mut buf = Vec::new();
+        save_store(&store, &mut buf).unwrap();
+        let mut target = store_with(&[("w", vec![5])]);
+        assert!(load_store(&mut target, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_entries_ignored() {
+        let store = store_with(&[("old", vec![2]), ("shared", vec![3])]);
+        let mut buf = Vec::new();
+        save_store(&store, &mut buf).unwrap();
+        let mut target = store_with(&[("shared", vec![3]), ("new", vec![4])]);
+        let n = load_store(&mut target, &mut buf.as_slice()).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn corrupt_magic_detected() {
+        let mut buf = b"NOPE".to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut s = ParamStore::new();
+        assert!(load_store(&mut s, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = store_with(&[("w", vec![6, 2])]);
+        let path = std::env::temp_dir().join("dchag_ckpt_test.bin");
+        save_to_file(&store, &path).unwrap();
+        let mut fresh = store_with(&[("w", vec![6, 2])]);
+        let id = fresh.ids().next().unwrap();
+        fresh.set(id, Tensor::zeros([6, 2]));
+        let n = load_from_file(&mut fresh, &path).unwrap();
+        assert_eq!(n, 1);
+        let _ = std::fs::remove_file(&path);
+        let want = store.ids().next().unwrap();
+        assert_eq!(fresh.get(id).to_vec(), store.get(want).to_vec());
+    }
+}

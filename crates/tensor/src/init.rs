@@ -1,0 +1,62 @@
+//! Weight-initialization helpers (ViT-conventional schemes).
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform for a `[fan_in, fan_out]` weight matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform([fan_in, fan_out], -bound, bound, rng)
+}
+
+/// Truncated-ish normal (resampled beyond 2σ) used for embeddings; std 0.02
+/// is the ViT convention.
+pub fn trunc_normal(shape: &[usize], std: f32, rng: &mut Rng) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let z = rng.normal();
+        if z.abs() <= 2.0 {
+            data.push(z * std);
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// Scaled init for residual-branch output projections (GPT-2 style):
+/// std = base / sqrt(2 · depth).
+pub fn residual_out(fan_in: usize, fan_out: usize, depth: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / (fan_in + fan_out) as f32).sqrt() / (2.0 * depth.max(1) as f32).sqrt();
+    Tensor::randn([fan_in, fan_out], std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = Rng::new(1);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(w.max_abs() <= bound);
+        assert!(w.max_abs() > bound * 0.5); // actually spans the range
+    }
+
+    #[test]
+    fn trunc_normal_clipped_at_two_sigma() {
+        let mut rng = Rng::new(2);
+        let w = trunc_normal(&[1000], 0.02, &mut rng);
+        assert!(w.max_abs() <= 0.04 + 1e-6);
+    }
+
+    #[test]
+    fn residual_out_shrinks_with_depth() {
+        let mut rng = Rng::new(3);
+        let shallow = residual_out(32, 32, 1, &mut rng);
+        let deep = residual_out(32, 32, 64, &mut rng);
+        // crude std comparison
+        let std = |t: &Tensor| (t.data().iter().map(|x| x * x).sum::<f32>() / 1024.0).sqrt();
+        assert!(std(&deep) < std(&shallow));
+    }
+}

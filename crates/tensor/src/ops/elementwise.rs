@@ -1,0 +1,138 @@
+//! Elementwise kernels and their derivative helpers.
+
+use crate::tensor::Tensor;
+
+/// `a + b`, same shapes.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip(b, |x, y| x + y)
+}
+
+/// `a - b`, same shapes.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip(b, |x, y| x - y)
+}
+
+/// Hadamard product, same shapes.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip(b, |x, y| x * y)
+}
+
+/// `alpha * a`.
+pub fn scale(a: &Tensor, alpha: f32) -> Tensor {
+    a.map(|x| alpha * x)
+}
+
+/// `a + alpha * b` (AXPY), same shapes.
+pub fn add_scaled(a: &Tensor, b: &Tensor, alpha: f32) -> Tensor {
+    a.zip(b, |x, y| x + alpha * y)
+}
+
+/// Broadcast-add a `[n]` bias over the last axis of `a` (`[..., n]`).
+pub fn add_bias(a: &Tensor, bias: &Tensor) -> Tensor {
+    let n = a.shape().last();
+    assert_eq!(bias.numel(), n, "bias len {} vs last dim {}", bias.numel(), n);
+    let b = bias.data();
+    let mut out = a.to_vec();
+    for row in out.chunks_mut(n) {
+        for (x, &bb) in row.iter_mut().zip(b) {
+            *x += bb;
+        }
+    }
+    Tensor::from_vec(out, a.shape().clone())
+}
+
+/// Broadcast-multiply a `[n]` gain over the last axis of `a`.
+pub fn mul_last(a: &Tensor, gain: &Tensor) -> Tensor {
+    let n = a.shape().last();
+    assert_eq!(gain.numel(), n);
+    let g = gain.data();
+    let mut out = a.to_vec();
+    for row in out.chunks_mut(n) {
+        for (x, &gg) in row.iter_mut().zip(g) {
+            *x *= gg;
+        }
+    }
+    Tensor::from_vec(out, a.shape().clone())
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+/// GELU, tanh approximation (matches PyTorch `approximate="tanh"`).
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+/// d/dx of the tanh-approximated GELU.
+#[inline]
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x)
+}
+
+pub fn gelu(a: &Tensor) -> Tensor {
+    a.map(gelu_scalar)
+}
+
+/// Elementwise square.
+pub fn square(a: &Tensor) -> Tensor {
+    a.map(|x| x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([4, 5], 1.0, &mut rng);
+        let b = Tensor::randn([4, 5], 1.0, &mut rng);
+        let c = sub(&add(&a, &b), &b);
+        assert!(a.max_abs_diff(&c) < 1e-6);
+    }
+
+    #[test]
+    fn bias_broadcasts_per_row() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let c = add_bias(&a, &b);
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // gelu(0) = 0; gelu(x) ≈ x for large x; gelu(-x) ≈ 0 for large x.
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu_scalar(-10.0).abs() < 1e-4);
+        // reference value gelu(1.0) ≈ 0.8412 (tanh approx)
+        assert!((gelu_scalar(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let h = 1e-3;
+            let fd = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad_scalar(x) - fd).abs() < 1e-3,
+                "x={x}: {} vs {}",
+                gelu_grad_scalar(x),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn scale_and_axpy() {
+        let a = Tensor::arange(3);
+        let b = Tensor::ones([3]);
+        assert_eq!(scale(&a, 2.0).to_vec(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(add_scaled(&a, &b, 0.5).to_vec(), vec![0.5, 1.5, 2.5]);
+    }
+}

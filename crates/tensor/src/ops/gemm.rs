@@ -1,0 +1,353 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three access patterns are implemented directly (NN, NT, TN) because they
+//! are exactly the shapes the forward and backward passes need; this avoids
+//! materializing transposed copies on the backward path. All kernels
+//! parallelize over output rows with rayon and keep the inner loop a
+//! contiguous AXPY or dot product.
+
+use rayon::prelude::*;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Below this many output elements the rayon dispatch overhead dominates;
+/// run single-threaded.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+#[inline]
+fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // 4-way unrolled accumulation: better ILP and less rounding drift.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// C[m,n] = A[m,k] · B[k,n]
+fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip != 0.0 {
+                axpy(aip, &b[p * n..(p + 1) * n], c_row);
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// C[m,n] = A[m,k] · B[n,k]ᵀ  (B stored row-major as [n,k])
+fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cij) in c_row.iter_mut().enumerate() {
+            *cij = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// C[m,n] = A[k,m]ᵀ · B[k,n]  (A stored row-major as [k,m])
+fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        for p in 0..k {
+            let aip = a[p * m + i];
+            if aip != 0.0 {
+                axpy(aip, &b[p * n..(p + 1) * n], c_row);
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `[m,k] × [k,n] -> [m,n]`. Higher-rank `a` is folded to 2-D over its last
+/// axis.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let a2 = a.as_2d();
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {}", b.shape());
+    let (m, k) = (a2.dims()[0], a2.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims {} vs {}", a.shape(), b.shape());
+    let mut c = vec![0.0f32; m * n];
+    gemm_nn(a2.data(), b.data(), &mut c, m, k, n);
+    // Preserve leading batch axes of `a`.
+    let mut out_dims = a.dims().to_vec();
+    *out_dims.last_mut().unwrap() = n;
+    Tensor::from_vec(c, Shape::new(&out_dims))
+}
+
+/// `[m,k] × [n,k]ᵀ -> [m,n]` without materializing the transpose.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let a2 = a.as_2d();
+    assert_eq!(b.ndim(), 2);
+    let (m, k) = (a2.dims()[0], a2.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims {} vs {}", a.shape(), b.shape());
+    let mut c = vec![0.0f32; m * n];
+    gemm_nt(a2.data(), b.data(), &mut c, m, k, n);
+    let mut out_dims = a.dims().to_vec();
+    *out_dims.last_mut().unwrap() = n;
+    Tensor::from_vec(c, Shape::new(&out_dims))
+}
+
+/// `[k,m]ᵀ × [k,n] -> [m,n]` without materializing the transpose.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let a2 = a.as_2d();
+    let b2 = b.as_2d();
+    let (k, m) = (a2.dims()[0], a2.dims()[1]);
+    let (k2, n) = (b2.dims()[0], b2.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dims {} vs {}", a.shape(), b.shape());
+    let mut c = vec![0.0f32; m * n];
+    gemm_tn(a2.data(), b2.data(), &mut c, m, k, n);
+    Tensor::from_vec(c, [m, n])
+}
+
+fn bmm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize, usize, usize) {
+    assert_eq!(a.ndim(), 3, "bmm lhs must be 3-D, got {}", a.shape());
+    assert_eq!(b.ndim(), 3, "bmm rhs must be 3-D, got {}", b.shape());
+    let (ba, m, ka) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let (bb, d1, d2) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+    assert_eq!(ba, bb, "bmm batch dims {} vs {}", a.shape(), b.shape());
+    (ba, m, ka, bb, d1, d2)
+}
+
+/// Batched `[B,m,k] × [B,k,n] -> [B,m,n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (bs, m, k, _, k2, n) = bmm_dims(a, b);
+    assert_eq!(k, k2, "bmm inner dims {} vs {}", a.shape(), b.shape());
+    let mut c = vec![0.0f32; bs * m * n];
+    let run = |(bi, c_b): (usize, &mut [f32])| {
+        gemm_nn(
+            &a.data()[bi * m * k..(bi + 1) * m * k],
+            &b.data()[bi * k * n..(bi + 1) * k * n],
+            c_b,
+            m,
+            k,
+            n,
+        );
+    };
+    if bs * m * n >= PAR_THRESHOLD && bs > 1 {
+        c.par_chunks_mut(m * n).enumerate().for_each(run);
+    } else {
+        c.chunks_mut(m * n).enumerate().for_each(run);
+    }
+    Tensor::from_vec(c, [bs, m, n])
+}
+
+/// Batched `[B,m,k] × [B,n,k]ᵀ -> [B,m,n]` (attention scores `Q·Kᵀ`).
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (bs, m, k, _, n, k2) = bmm_dims(a, b);
+    assert_eq!(k, k2, "bmm_nt inner dims {} vs {}", a.shape(), b.shape());
+    let mut c = vec![0.0f32; bs * m * n];
+    let run = |(bi, c_b): (usize, &mut [f32])| {
+        gemm_nt(
+            &a.data()[bi * m * k..(bi + 1) * m * k],
+            &b.data()[bi * n * k..(bi + 1) * n * k],
+            c_b,
+            m,
+            k,
+            n,
+        );
+    };
+    if bs * m * n >= PAR_THRESHOLD && bs > 1 {
+        c.par_chunks_mut(m * n).enumerate().for_each(run);
+    } else {
+        c.chunks_mut(m * n).enumerate().for_each(run);
+    }
+    Tensor::from_vec(c, [bs, m, n])
+}
+
+/// Batched `[B,k,m]ᵀ × [B,k,n] -> [B,m,n]` (attention backward `Aᵀ·dY`).
+pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (bs, k, m, _, k2, n) = bmm_dims(a, b);
+    assert_eq!(k, k2, "bmm_tn inner dims {} vs {}", a.shape(), b.shape());
+    let mut c = vec![0.0f32; bs * m * n];
+    let run = |(bi, c_b): (usize, &mut [f32])| {
+        gemm_tn(
+            &a.data()[bi * k * m..(bi + 1) * k * m],
+            &b.data()[bi * k * n..(bi + 1) * k * n],
+            c_b,
+            m,
+            k,
+            n,
+        );
+    };
+    if bs * m * n >= PAR_THRESHOLD && bs > 1 {
+        c.par_chunks_mut(m * n).enumerate().for_each(run);
+    } else {
+        c.chunks_mut(m * n).enumerate().for_each(run);
+    }
+    Tensor::from_vec(c, [bs, m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(i * k + p) * b.at(p * n + j);
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::randn([7, 5], 1.0, &mut rng);
+        let b = Tensor::randn([5, 9], 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        let expect = naive_matmul(&a, &b);
+        for (x, y) in c.data().iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::new(2);
+        let a = Tensor::randn([4, 4], 1.0, &mut rng);
+        let mut eye = vec![0.0; 16];
+        for i in 0..4 {
+            eye[i * 4 + i] = 1.0;
+        }
+        let id = Tensor::from_vec(eye, [4, 4]);
+        let c = matmul(&a, &id);
+        assert!(a.max_abs_diff(&c) < 1e-6);
+    }
+
+    #[test]
+    fn nt_equals_nn_with_transposed_b() {
+        let mut rng = Rng::new(3);
+        let a = Tensor::randn([6, 8], 1.0, &mut rng);
+        let bt = Tensor::randn([10, 8], 1.0, &mut rng); // b = btᵀ : [8,10]
+        let via_nt = matmul_nt(&a, &bt);
+        // materialize bᵀ manually
+        let mut b = vec![0.0; 80];
+        for i in 0..10 {
+            for j in 0..8 {
+                b[j * 10 + i] = bt.at(i * 8 + j);
+            }
+        }
+        let via_nn = matmul(&a, &Tensor::from_vec(b, [8, 10]));
+        assert!(via_nt.max_abs_diff(&via_nn) < 1e-4);
+    }
+
+    #[test]
+    fn tn_equals_nn_with_transposed_a() {
+        let mut rng = Rng::new(4);
+        let at = Tensor::randn([8, 6], 1.0, &mut rng); // a = atᵀ : [6,8]
+        let b = Tensor::randn([8, 5], 1.0, &mut rng);
+        let via_tn = matmul_tn(&at, &b);
+        let mut a = vec![0.0; 48];
+        for i in 0..8 {
+            for j in 0..6 {
+                a[j * 8 + i] = at.at(i * 6 + j);
+            }
+        }
+        let via_nn = matmul(&Tensor::from_vec(a, [6, 8]), &b);
+        assert!(via_tn.max_abs_diff(&via_nn) < 1e-4);
+    }
+
+    #[test]
+    fn bmm_matches_per_slice_matmul() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::randn([3, 4, 6], 1.0, &mut rng);
+        let b = Tensor::randn([3, 6, 5], 1.0, &mut rng);
+        let c = bmm(&a, &b);
+        for bi in 0..3 {
+            let a_s = Tensor::from_vec(a.data()[bi * 24..(bi + 1) * 24].to_vec(), [4, 6]);
+            let b_s = Tensor::from_vec(b.data()[bi * 30..(bi + 1) * 30].to_vec(), [6, 5]);
+            let c_s = matmul(&a_s, &b_s);
+            let got = &c.data()[bi * 20..(bi + 1) * 20];
+            for (x, y) in got.iter().zip(c_s.data()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_nt_scores_shape_and_symmetry() {
+        let mut rng = Rng::new(6);
+        let q = Tensor::randn([2, 5, 4], 1.0, &mut rng);
+        let s = bmm_nt(&q, &q);
+        assert_eq!(s.dims(), &[2, 5, 5]);
+        // q·qᵀ is symmetric per batch
+        for b in 0..2 {
+            for i in 0..5 {
+                for j in 0..5 {
+                    let x = s.at(b * 25 + i * 5 + j);
+                    let y = s.at(b * 25 + j * 5 + i);
+                    assert!((x - y).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lhs_matmul_folds_leading_axes() {
+        let mut rng = Rng::new(7);
+        let a = Tensor::randn([2, 3, 4], 1.0, &mut rng);
+        let w = Tensor::randn([4, 6], 1.0, &mut rng);
+        let c = matmul(&a, &w);
+        assert_eq!(c.dims(), &[2, 3, 6]);
+    }
+
+    #[test]
+    fn large_parallel_path_consistent_with_small() {
+        let mut rng = Rng::new(8);
+        let a = Tensor::randn([300, 64], 1.0, &mut rng);
+        let b = Tensor::randn([64, 128], 1.0, &mut rng);
+        let big = matmul(&a, &b);
+        // spot-check a few entries against naive dot
+        for &(i, j) in &[(0usize, 0usize), (7, 100), (299, 127), (150, 64)] {
+            let mut s = 0.0;
+            for p in 0..64 {
+                s += a.at(i * 64 + p) * b.at(p * 128 + j);
+            }
+            assert!((big.at(i * 128 + j) - s).abs() < 1e-3);
+        }
+    }
+}

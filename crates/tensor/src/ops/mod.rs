@@ -1,0 +1,25 @@
+//! Non-differentiable compute kernels.
+//!
+//! Everything here is a pure function `&Tensor -> Tensor`; the autograd layer
+//! in [`crate::autograd`] wraps these with backward rules.
+
+pub mod elementwise;
+pub mod gemm;
+pub mod norm;
+pub mod reduce;
+pub mod shape_ops;
+
+pub use elementwise::{
+    add, add_bias, add_scaled, gelu, gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square,
+    sub,
+};
+pub use gemm::{bmm, bmm_nt, bmm_tn, matmul, matmul_nt, matmul_tn};
+pub use norm::{layernorm, layernorm_backward, LayerNormCtx, LN_EPS};
+pub use reduce::{
+    mean_all, mean_axis1, softmax_last, softmax_last_backward, sum_all, sum_to_last,
+};
+pub use shape_ops::{
+    broadcast_to_batch, concat, gather_rows, gather_rows_backward, patchify, select_axis1,
+    select_axis1_backward, slice, slice_backward, sum_over_batch, swap_axes12, transpose_last2,
+    unpatchify,
+};

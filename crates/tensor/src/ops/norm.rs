@@ -1,0 +1,185 @@
+//! Layer normalization, forward and backward.
+
+use crate::tensor::Tensor;
+
+pub const LN_EPS: f32 = 1e-5;
+
+/// Saved statistics from the forward pass, needed by the backward pass.
+pub struct LayerNormCtx {
+    /// Per-row mean, length = rows.
+    pub mean: Vec<f32>,
+    /// Per-row reciprocal std, length = rows.
+    pub rstd: Vec<f32>,
+}
+
+/// LayerNorm over the last axis: `y = (x − μ)/σ · γ + β`.
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LayerNormCtx) {
+    let n = x.shape().last();
+    assert_eq!(gamma.numel(), n, "gamma len");
+    assert_eq!(beta.numel(), n, "beta len");
+    let rows = x.shape().rows();
+    let (g, b) = (gamma.data(), beta.data());
+    let mut out = vec![0.0f32; x.numel()];
+    let mut mean = vec![0.0f32; rows];
+    let mut rstd = vec![0.0f32; rows];
+    for (r, (o_row, x_row)) in out.chunks_mut(n).zip(x.data().chunks(n)).enumerate() {
+        let mu = x_row.iter().sum::<f32>() / n as f32;
+        let var = x_row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / n as f32;
+        let rs = 1.0 / (var + LN_EPS).sqrt();
+        mean[r] = mu;
+        rstd[r] = rs;
+        for (j, (o, &xv)) in o_row.iter_mut().zip(x_row).enumerate() {
+            *o = (xv - mu) * rs * g[j] + b[j];
+        }
+    }
+    (
+        Tensor::from_vec(out, x.shape().clone()),
+        LayerNormCtx { mean, rstd },
+    )
+}
+
+/// Backward of LayerNorm. Returns `(dx, dgamma, dbeta)`.
+pub fn layernorm_backward(
+    x: &Tensor,
+    gamma: &Tensor,
+    ctx: &LayerNormCtx,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let n = x.shape().last();
+    let g = gamma.data();
+    let mut dx = vec![0.0f32; x.numel()];
+    let mut dgamma = vec![0.0f32; n];
+    let mut dbeta = vec![0.0f32; n];
+    for (r, ((dx_row, x_row), dy_row)) in dx
+        .chunks_mut(n)
+        .zip(x.data().chunks(n))
+        .zip(dy.data().chunks(n))
+        .enumerate()
+    {
+        let (mu, rs) = (ctx.mean[r], ctx.rstd[r]);
+        // xhat = (x − μ)·rs ; dy_g = dy ⊙ γ
+        // dx = rs·(dy_g − mean(dy_g) − xhat·mean(dy_g ⊙ xhat))
+        let mut sum_dyg = 0.0f32;
+        let mut sum_dyg_xhat = 0.0f32;
+        for j in 0..n {
+            let xhat = (x_row[j] - mu) * rs;
+            let dyg = dy_row[j] * g[j];
+            sum_dyg += dyg;
+            sum_dyg_xhat += dyg * xhat;
+            dgamma[j] += dy_row[j] * xhat;
+            dbeta[j] += dy_row[j];
+        }
+        let m1 = sum_dyg / n as f32;
+        let m2 = sum_dyg_xhat / n as f32;
+        for j in 0..n {
+            let xhat = (x_row[j] - mu) * rs;
+            let dyg = dy_row[j] * g[j];
+            dx_row[j] = rs * (dyg - m1 - xhat * m2);
+        }
+    }
+    (
+        Tensor::from_vec(dx, x.shape().clone()),
+        Tensor::from_vec(dgamma, [n]),
+        Tensor::from_vec(dbeta, [n]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn normalized_rows_have_zero_mean_unit_var() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::randn([5, 32], 2.0, &mut rng);
+        let g = Tensor::ones([32]);
+        let b = Tensor::zeros([32]);
+        let (y, _) = layernorm(&x, &g, &b);
+        for row in y.data().chunks(32) {
+            let mu: f32 = row.iter().sum::<f32>() / 32.0;
+            let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / 32.0;
+            assert!(mu.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affine_applied() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]);
+        let g = Tensor::full([4], 2.0);
+        let b = Tensor::full([4], 10.0);
+        let (y, _) = layernorm(&x, &g, &b);
+        let mu: f32 = y.data().iter().sum::<f32>() / 4.0;
+        assert!((mu - 10.0).abs() < 1e-4); // mean shifts to β
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = Rng::new(7);
+        let x = Tensor::randn([3, 8], 1.0, &mut rng);
+        let g = Tensor::randn([8], 0.5, &mut rng).map(|v| v + 1.0);
+        let b = Tensor::randn([8], 0.5, &mut rng);
+        let dy = Tensor::randn([3, 8], 1.0, &mut rng);
+
+        let (_, ctx) = layernorm(&x, &g, &b);
+        let (dx, dgamma, dbeta) = layernorm_backward(&x, &g, &ctx, &dy);
+
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            let (y, _) = layernorm(x, g, b);
+            y.data()
+                .iter()
+                .zip(dy.data())
+                .map(|(&yy, &dd)| yy * dd)
+                .sum()
+        };
+        let h = 1e-3;
+        // dx check on a handful of coordinates
+        for &i in &[0usize, 5, 12, 23] {
+            let mut xp = x.to_vec();
+            xp[i] += h;
+            let mut xm = x.to_vec();
+            xm[i] -= h;
+            let fd = (loss(&Tensor::from_vec(xp, x.shape().clone()), &g, &b)
+                - loss(&Tensor::from_vec(xm, x.shape().clone()), &g, &b))
+                / (2.0 * h);
+            assert!((dx.at(i) - fd).abs() < 2e-2, "dx[{i}]: {} vs {fd}", dx.at(i));
+        }
+        // dgamma / dbeta
+        for i in 0..8 {
+            let mut gp = g.to_vec();
+            gp[i] += h;
+            let mut gm = g.to_vec();
+            gm[i] -= h;
+            let fd = (loss(&x, &Tensor::from_vec(gp, [8usize]), &b)
+                - loss(&x, &Tensor::from_vec(gm, [8usize]), &b))
+                / (2.0 * h);
+            assert!((dgamma.at(i) - fd).abs() < 2e-2);
+
+            let mut bp = b.to_vec();
+            bp[i] += h;
+            let mut bm = b.to_vec();
+            bm[i] -= h;
+            let fd = (loss(&x, &g, &Tensor::from_vec(bp, [8usize]))
+                - loss(&x, &g, &Tensor::from_vec(bm, [8usize])))
+                / (2.0 * h);
+            assert!((dbeta.at(i) - fd).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn dx_rows_orthogonal_to_ones_when_gamma_const() {
+        // With γ constant, Σ_j dx_j = 0 per row (projection property).
+        let mut rng = Rng::new(9);
+        let x = Tensor::randn([4, 16], 1.0, &mut rng);
+        let g = Tensor::full([16], 1.3);
+        let b = Tensor::zeros([16]);
+        let dy = Tensor::randn([4, 16], 1.0, &mut rng);
+        let (_, ctx) = layernorm(&x, &g, &b);
+        let (dx, _, _) = layernorm_backward(&x, &g, &ctx, &dy);
+        for row in dx.data().chunks(16) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-4, "row sum {s}");
+        }
+    }
+}

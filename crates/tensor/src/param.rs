@@ -1,0 +1,212 @@
+//! Parameter storage and per-step binding.
+//!
+//! Modules register tensors in a [`ParamStore`] at construction and refer to
+//! them by [`ParamId`]. Each training step creates a fresh [`Tape`] and a
+//! *binder* that materializes parameters as leaf [`Var`]s on that tape. The
+//! indirection is what the distributed layers hook:
+//!
+//! * local training binds the stored tensor directly ([`LocalBinder`]),
+//! * FSDP binds an AllGather of the shards (with a ReduceScatter adjoint),
+//! * tensor parallelism stores per-rank shards and binds them locally.
+
+use std::cell::RefCell;
+
+use crate::autograd::{Grads, Tape, Var};
+use crate::tensor::Tensor;
+
+/// Stable handle to a parameter within one [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+struct Slot {
+    name: String,
+    value: Tensor,
+}
+
+/// Owns the master copy of every parameter of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.slots.len());
+        self.slots.push(Slot {
+            name: name.into(),
+            value,
+        });
+        id
+    }
+
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.slots[id.0].value
+    }
+
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.slots[id.0].value.dims(),
+            value.dims(),
+            "param {} shape change",
+            self.slots[id.0].name
+        );
+        self.slots[id.0].value = value;
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.slots.iter().map(|s| s.value.numel()).sum()
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ParamId(i), s.name.as_str(), &s.value))
+    }
+}
+
+/// Materializes parameters as tape leaves for one forward/backward pass.
+pub trait Binder {
+    fn tape(&self) -> &Tape;
+
+    /// Leaf (or gathered) var for parameter `id`. Must return the *same* var
+    /// if called twice for the same id, so reuse accumulates gradients.
+    fn bind(&self, id: ParamId) -> Var;
+}
+
+/// Plain single-process binding: every parameter is bound as-is.
+pub struct LocalBinder<'a> {
+    tape: &'a Tape,
+    store: &'a ParamStore,
+    bound: RefCell<Vec<Option<Var>>>,
+}
+
+impl<'a> LocalBinder<'a> {
+    pub fn new(tape: &'a Tape, store: &'a ParamStore) -> Self {
+        LocalBinder {
+            tape,
+            store,
+            bound: RefCell::new(vec![None; store.len()]),
+        }
+    }
+
+    /// Collect the gradient for every bound parameter (None when a parameter
+    /// was never used or received no gradient).
+    pub fn grads(&self, grads: &Grads) -> Vec<Option<Tensor>> {
+        self.bound
+            .borrow()
+            .iter()
+            .map(|b| b.as_ref().and_then(|v| grads.get(v).cloned()))
+            .collect()
+    }
+}
+
+impl Binder for LocalBinder<'_> {
+    fn tape(&self) -> &Tape {
+        self.tape
+    }
+
+    fn bind(&self, id: ParamId) -> Var {
+        let mut bound = self.bound.borrow_mut();
+        if let Some(v) = &bound[id.0] {
+            return v.clone();
+        }
+        let v = self.tape.leaf(self.store.get(id).clone());
+        bound[id.0] = Some(v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros([2, 3]));
+        assert_eq!(store.get(id).dims(), &[2, 3]);
+        assert_eq!(store.num_params(), 6);
+        store.set(id, Tensor::ones([2, 3]));
+        assert_eq!(store.get(id).sum(), 6.0);
+        assert_eq!(store.name(id), "w");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape change")]
+    fn set_rejects_shape_change() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros([2]));
+        store.set(id, Tensor::zeros([3]));
+    }
+
+    #[test]
+    fn binder_returns_same_var_for_same_id() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::arange(3));
+        let tape = Tape::new();
+        let binder = LocalBinder::new(&tape, &store);
+        let a = binder.bind(id);
+        let b = binder.bind(id);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn double_use_accumulates_gradient() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::arange(3));
+        let tape = Tape::new();
+        let binder = LocalBinder::new(&tape, &store);
+        let w1 = binder.bind(id);
+        let w2 = binder.bind(id);
+        let y = tape.add(&w1, &w2); // y = 2w
+        let s = tape.sum_all(&y);
+        let grads = tape.backward(&s);
+        let g = binder.grads(&grads);
+        assert_eq!(g[0].as_ref().unwrap().to_vec(), vec![2.0; 3]);
+    }
+
+    #[test]
+    fn unused_param_has_no_grad() {
+        let mut store = ParamStore::new();
+        let used = store.add("a", Tensor::arange(2));
+        let _unused = store.add("b", Tensor::arange(2));
+        let tape = Tape::new();
+        let binder = LocalBinder::new(&tape, &store);
+        let w = binder.bind(used);
+        let s = tape.sum_all(&w);
+        let grads = tape.backward(&s);
+        let g = binder.grads(&grads);
+        assert!(g[0].is_some());
+        assert!(g[1].is_none());
+    }
+}

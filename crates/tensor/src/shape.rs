@@ -1,0 +1,143 @@
+//! Shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The dimensions of a tensor, row-major (last axis contiguous).
+///
+/// Kept deliberately small: the library only supports contiguous row-major
+/// tensors, so a shape is just the dimension list plus derived helpers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of axis `i` (supports negative-style indexing via `dim_back`).
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Size of the `i`-th axis counting from the end (0 = last).
+    #[inline]
+    pub fn dim_back(&self, i: usize) -> usize {
+        self.0[self.0.len() - 1 - i]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Product of all axes except the last — the number of "rows" when the
+    /// tensor is viewed as a 2-D matrix `[rows, last]`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        if self.0.is_empty() {
+            1
+        } else {
+            self.numel() / self.0[self.0.len() - 1]
+        }
+    }
+
+    /// Last-axis length (1 for scalars).
+    #[inline]
+    pub fn last(&self) -> usize {
+        *self.0.last().unwrap_or(&1)
+    }
+
+    /// Replace the axis sizes, asserting element count is preserved.
+    pub fn reshaped(&self, dims: &[usize]) -> Shape {
+        let n: usize = dims.iter().product();
+        assert_eq!(
+            n,
+            self.numel(),
+            "reshape {:?} -> {:?} changes element count",
+            self.0,
+            dims
+        );
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(d: [usize; N]) -> Self {
+        Shape(d.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s.last(), 4);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.last(), 1);
+    }
+
+    #[test]
+    fn dim_back_indexes_from_end() {
+        let s = Shape::new(&[5, 7, 9]);
+        assert_eq!(s.dim_back(0), 9);
+        assert_eq!(s.dim_back(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_must_preserve_numel() {
+        Shape::new(&[2, 3]).reshaped(&[7]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests (proptest) over the core data structures and
+//! distributed invariants.
+
+use dchag::prelude::*;
+use dchag_collectives::run_ranks;
+use dchag_model::TreePlan;
+use dchag_parallel::partition_channels;
+use dchag_perf::Strategy;
+use dchag_tensor::{ops, Rng};
+use proptest::prelude::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Channel partitions are disjoint, ordered, balanced covers.
+    #[test]
+    fn partition_always_covers(channels in 1usize..600, ranks in 1usize..33) {
+        let parts = partition_channels(channels, ranks);
+        prop_assert_eq!(parts.len(), ranks);
+        let mut next = 0;
+        for p in &parts {
+            prop_assert_eq!(p.start, next);
+            next = p.end;
+        }
+        prop_assert_eq!(next, channels);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let (mn, mx) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    /// Every tree plan covers each channel exactly once and its worked
+    /// invariants hold for arbitrary (channels, groups) combinations.
+    #[test]
+    fn tree_plans_cover_channels(channels in 1usize..300, groups in 0usize..16) {
+        let unit = if channels % 2 == 0 { UnitKind::Linear } else { UnitKind::CrossAttention };
+        let plan = TreePlan::build(channels, TreeConfig::tree(groups, unit));
+        prop_assert_eq!(plan.level1.iter().sum::<usize>(), channels);
+        prop_assert!(plan.level1.len() <= channels);
+        prop_assert_eq!(plan.has_level2, plan.level1.len() > 1);
+        prop_assert!(plan.max_unit_channels() >= 1);
+    }
+
+    /// Softmax rows always sum to 1 and stay finite for wild inputs.
+    #[test]
+    fn softmax_rows_normalized(rows in 1usize..6, cols in 1usize..9, scale in 0.1f32..100.0) {
+        let mut rng = Rng::new((rows * 31 + cols) as u64);
+        let x = Tensor::randn([rows, cols], scale, &mut rng);
+        let s = ops::softmax_last(&x);
+        prop_assert!(s.all_finite());
+        for row in s.data().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// patchify/unpatchify are mutually inverse for arbitrary geometry.
+    #[test]
+    fn patchify_roundtrip(b in 1usize..3, c in 1usize..4, grid in 1usize..5, p in 1usize..5) {
+        let (h, w) = (grid * p, grid * p);
+        let mut rng = Rng::new((b * 7 + c * 11 + grid * 13 + p) as u64);
+        let img = Tensor::randn([b, c, h, w], 1.0, &mut rng);
+        let back = ops::unpatchify(&ops::patchify(&img, p), h, w, p);
+        prop_assert_eq!(img.to_vec(), back.to_vec());
+    }
+
+    /// Regridding preserves constants exactly for any resolution pair.
+    #[test]
+    fn regrid_preserves_constants(
+        h in 2usize..40, w in 2usize..40, oh in 2usize..40, ow in 2usize..40, v in -10f32..10.0
+    ) {
+        let src = Tensor::full([1usize, h, w], v);
+        let out = dchag::data::regrid_bilinear(&src, oh, ow);
+        for &x in out.data() {
+            prop_assert!((x - v).abs() < 1e-4);
+        }
+    }
+
+    /// reduce_scatter ∘ all_gather == all_reduce for arbitrary world sizes
+    /// and payloads (the ring identity).
+    #[test]
+    fn ring_identity(world in 1usize..5, len in 1usize..5, seed in 0u64..1000) {
+        let len = len * world; // divisibility
+        let run = run_ranks(world, move |ctx| {
+            let mut rng = Rng::new(seed ^ ctx.comm.rank() as u64);
+            let t = Tensor::randn([len], 1.0, &mut rng);
+            let via_rs = ctx.comm.all_gather_cat(&ctx.comm.reduce_scatter_sum(&t), 0);
+            let via_ar = ctx.comm.all_reduce_sum(&t);
+            via_rs.max_abs_diff(&via_ar)
+        });
+        for d in run.outputs {
+            prop_assert_eq!(d, 0.0);
+        }
+    }
+
+    /// The memory model is monotone: more channels, batch, or depth never
+    /// reduce per-GPU memory; more TP never increases it.
+    #[test]
+    fn memory_model_monotone(
+        c in 1usize..8, b in 1usize..9, extra_c in 1usize..8, extra_b in 1usize..8
+    ) {
+        let mem = MemoryModel::frontier();
+        let cfg = ModelConfig::p1_7b().with_channels(c * 64);
+        let cfg_more_c = ModelConfig::p1_7b().with_channels((c + extra_c) * 64);
+        let s = Strategy::tp(2, b);
+        let base = mem.breakdown(&cfg, &s).total();
+        prop_assert!(mem.breakdown(&cfg_more_c, &s).total() > base);
+        prop_assert!(mem.breakdown(&cfg, &s.with_batch(b + extra_b)).total() > base);
+        let s_more_tp = Strategy::tp(4, b);
+        prop_assert!(mem.breakdown(&cfg, &s_more_tp).total() <= base);
+    }
+
+    /// Latitude weights always average to 1 and peak at the equator.
+    #[test]
+    fn latitude_weights_normalized(h in 2usize..64, w in 2usize..64) {
+        let lat = dchag_model::latitude_weights(h, w);
+        prop_assert!((lat.mean() - 1.0).abs() < 1e-3);
+        let equator = lat.at((h / 2) * w);
+        let pole = lat.at(0);
+        prop_assert!(equator >= pole);
+    }
+}
+
+#[test]
+fn gain_symmetry_sanity() {
+    // gain(a over b) and reduction are consistent transforms.
+    let mem = MemoryModel::frontier();
+    let cfg = ModelConfig::p7b().with_channels(512);
+    let base = Strategy::tp(16, 8);
+    let cand = dchag_perf::Strategy::dchag(TreeConfig::tree0(UnitKind::Linear), 16, 8);
+    let gain = mem.gain_over(&cfg, &base, &cand);
+    let reduction = 1.0 - 1.0 / (1.0 + gain);
+    assert!(reduction > 0.0 && reduction < 1.0);
+}
