@@ -6,6 +6,144 @@ use std::hint::black_box;
 
 use dchag_tensor::{ops, Rng, Tensor};
 
+/// The seed repository's scalar GEMM kernels (rows-parallel AXPY/dot loops),
+/// kept verbatim as the "before" baseline for the `gemm_blocking` group and
+/// the `BENCH_kernels.json` emitter.
+mod seed {
+    use rayon::prelude::*;
+
+    const PAR_THRESHOLD: usize = 16 * 1024;
+
+    #[inline]
+    fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    #[inline]
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 4];
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let j = i * 4;
+            acc[0] += a[j] * b[j];
+            acc[1] += a[j + 1] * b[j + 1];
+            acc[2] += a[j + 2] * b[j + 2];
+            acc[3] += a[j + 3] * b[j + 3];
+        }
+        let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for j in chunks * 4..a.len() {
+            s += a[j] * b[j];
+        }
+        s
+    }
+
+    pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let body = |(i, c_row): (usize, &mut [f32])| {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (p, &aip) in a_row.iter().enumerate() {
+                if aip != 0.0 {
+                    axpy(aip, &b[p * n..(p + 1) * n], c_row);
+                }
+            }
+        };
+        if m * n >= PAR_THRESHOLD {
+            c.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            c.chunks_mut(n).enumerate().for_each(body);
+        }
+    }
+
+    pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let body = |(i, c_row): (usize, &mut [f32])| {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, cij) in c_row.iter_mut().enumerate() {
+                *cij = dot(a_row, &b[j * k..(j + 1) * k]);
+            }
+        };
+        if m * n >= PAR_THRESHOLD {
+            c.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            c.chunks_mut(n).enumerate().for_each(body);
+        }
+    }
+
+    pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let body = |(i, c_row): (usize, &mut [f32])| {
+            for p in 0..k {
+                let aip = a[p * m + i];
+                if aip != 0.0 {
+                    axpy(aip, &b[p * n..(p + 1) * n], c_row);
+                }
+            }
+        };
+        if m * n >= PAR_THRESHOLD {
+            c.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            c.chunks_mut(n).enumerate().for_each(body);
+        }
+    }
+}
+
+/// Seed-vs-blocked comparison across layouts and sizes: the acceptance
+/// numbers for the micro-kernel rewrite.
+fn bench_gemm_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_blocking");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = Rng::new(11);
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::new("seed_nn", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                seed::gemm_nn(a.data(), b.data(), &mut out, n, n, n);
+                black_box(out)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::matmul(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("seed_nt", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                seed::gemm_nt(a.data(), b.data(), &mut out, n, n, n);
+                black_box(out)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::matmul_nt(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("seed_tn", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                seed::gemm_tn(a.data(), b.data(), &mut out, n, n, n);
+                black_box(out)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(ops::matmul_tn(&a, &b)))
+        });
+    }
+    // The FLOPs-gating fix: skinny [4, 512k] × [512k, 8] stays serial under
+    // the seed's m·n threshold but parallelizes (split-K) when gated on
+    // m·n·k.
+    let mut rng = Rng::new(12);
+    let skinny_a = Tensor::randn([4, 1 << 19], 0.1, &mut rng);
+    let skinny_b = Tensor::randn([1 << 19, 8], 0.1, &mut rng);
+    g.bench_function("seed_nn_skinny_4x512kx8", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; 4 * 8];
+            seed::gemm_nn(skinny_a.data(), skinny_b.data(), &mut out, 4, 1 << 19, 8);
+            black_box(out)
+        })
+    });
+    g.bench_function("blocked_nn_skinny_4x512kx8", |bench| {
+        bench.iter(|| black_box(ops::matmul(&skinny_a, &skinny_b)))
+    });
+    g.finish();
+}
+
 fn bench_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
     for &n in &[64usize, 128, 256] {
@@ -23,6 +161,208 @@ fn bench_matmul(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// The seed repository's two-pass serial LayerNorm, kept as the fusion
+/// baseline.
+fn seed_layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
+    let n = x.shape().last();
+    let (g, b) = (gamma.data(), beta.data());
+    let mut out = vec![0.0f32; x.numel()];
+    for (o_row, x_row) in out.chunks_mut(n).zip(x.data().chunks(n)) {
+        let mu = x_row.iter().sum::<f32>() / n as f32;
+        let var = x_row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / n as f32;
+        let rs = 1.0 / (var + ops::LN_EPS).sqrt();
+        for (j, (o, &xv)) in o_row.iter_mut().zip(x_row).enumerate() {
+            *o = (xv - mu) * rs * g[j] + b[j];
+        }
+    }
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+/// Fused vs unfused transformer-layer primitives: the allocation-churn
+/// half of the kernels rewrite.
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion");
+    let mut rng = Rng::new(21);
+
+    // LayerNorm: two-pass serial (seed) vs one-pass chunked-Welford.
+    let x = Tensor::randn([512, 256], 1.0, &mut rng);
+    let gamma = Tensor::ones([256]);
+    let beta = Tensor::zeros([256]);
+    g.bench_function("layernorm_unfused_512x256", |bench| {
+        bench.iter(|| black_box(seed_layernorm(&x, &gamma, &beta)))
+    });
+    g.bench_function("layernorm_fused_512x256", |bench| {
+        bench.iter(|| black_box(ops::layernorm(&x, &gamma, &beta)))
+    });
+
+    // Bias + GELU: two passes + two tensors vs one fused sweep.
+    let h = Tensor::randn([512, 512], 1.0, &mut rng);
+    let bias = Tensor::randn([512], 1.0, &mut rng);
+    g.bench_function("add_bias_gelu_unfused_512x512", |bench| {
+        bench.iter(|| black_box(ops::gelu(&ops::add_bias(&h, &bias))))
+    });
+    g.bench_function("add_bias_gelu_fused_512x512", |bench| {
+        bench.iter(|| black_box(ops::add_bias_gelu(&h, &bias)))
+    });
+
+    // Linear: matmul then bias pass vs bias folded into the GEMM output.
+    let xm = Tensor::randn([256, 256], 1.0, &mut rng);
+    let w = Tensor::randn([256, 256], 1.0, &mut rng);
+    let wb = Tensor::randn([256], 1.0, &mut rng);
+    g.bench_function("matmul_bias_unfused_256", |bench| {
+        bench.iter(|| black_box(ops::add_bias(&ops::matmul(&xm, &w), &wb)))
+    });
+    g.bench_function("matmul_bias_fused_256", |bench| {
+        bench.iter(|| black_box(ops::matmul_bias(&xm, &w, &wb)))
+    });
+
+    // Aggregator pooling: matmul → softmax → bmm chain vs fused sweep.
+    let (n, ch, d) = (1024, 16, 64);
+    let y = Tensor::randn([n, ch, d], 1.0, &mut rng);
+    let pw = Tensor::randn([d, 1], 1.0, &mut rng);
+    g.bench_function("softmax_pool_unfused_1024x16x64", |bench| {
+        bench.iter(|| {
+            let logits = ops::matmul(&y, &pw).reshape(&[n, ch]);
+            let weights = ops::softmax_last(&logits).reshape(&[n, 1, ch]);
+            black_box(ops::bmm(&weights, &y))
+        })
+    });
+    g.bench_function("softmax_pool_fused_1024x16x64", |bench| {
+        bench.iter(|| black_box(ops::softmax_pool(&y, &pw)))
+    });
+    g.finish();
+}
+
+/// Measure one closure with `std::time::Instant`: median ns/iter over
+/// `samples` batches sized to ~20 ms each. Used by the JSON emitter so the
+/// recorded numbers are independent of the criterion facade.
+fn measure_ns(mut f: impl FnMut(), quick: bool) -> f64 {
+    use std::time::Instant;
+    f(); // warm up
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1) as f64;
+    if quick {
+        return once;
+    }
+    let iters = (20e6 / once).clamp(1.0, 1e6) as u64;
+    let samples = 7;
+    let mut ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ns[samples / 2]
+}
+
+/// Emit `BENCH_kernels.json` at the workspace root: before (seed kernels)
+/// vs after (blocked/fused kernels) wall times and the resulting speedups.
+/// Runs as a criterion target so `cargo bench --bench kernels` refreshes
+/// the file; in `--test` (smoke) mode it still writes, with single-shot
+/// timings.
+fn emit_kernels_json(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let mut rng = Rng::new(31);
+    let mut entries: Vec<(String, f64, f64)> = Vec::new();
+
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        let before = measure_ns(
+            || {
+                let mut out = vec![0.0f32; n * n];
+                seed::gemm_nn(a.data(), b.data(), &mut out, n, n, n);
+                black_box(&out);
+            },
+            quick,
+        );
+        let after = measure_ns(|| { black_box(ops::matmul(&a, &b)); }, quick);
+        entries.push((format!("gemm_nn_{n}x{n}x{n}"), before, after));
+        if n == 256 {
+            let before = measure_ns(
+                || {
+                    let mut out = vec![0.0f32; n * n];
+                    seed::gemm_nt(a.data(), b.data(), &mut out, n, n, n);
+                    black_box(&out);
+                },
+                quick,
+            );
+            let after = measure_ns(|| { black_box(ops::matmul_nt(&a, &b)); }, quick);
+            entries.push((format!("gemm_nt_{n}x{n}x{n}"), before, after));
+            let before = measure_ns(
+                || {
+                    let mut out = vec![0.0f32; n * n];
+                    seed::gemm_tn(a.data(), b.data(), &mut out, n, n, n);
+                    black_box(&out);
+                },
+                quick,
+            );
+            let after = measure_ns(|| { black_box(ops::matmul_tn(&a, &b)); }, quick);
+            entries.push((format!("gemm_tn_{n}x{n}x{n}"), before, after));
+        }
+    }
+
+    let x = Tensor::randn([512, 256], 1.0, &mut rng);
+    let gamma = Tensor::ones([256]);
+    let beta = Tensor::zeros([256]);
+    let before = measure_ns(|| { black_box(seed_layernorm(&x, &gamma, &beta)); }, quick);
+    let after = measure_ns(|| { black_box(ops::layernorm(&x, &gamma, &beta)); }, quick);
+    entries.push(("layernorm_512x256".into(), before, after));
+
+    let h = Tensor::randn([512, 512], 1.0, &mut rng);
+    let bias = Tensor::randn([512], 1.0, &mut rng);
+    let before = measure_ns(|| { black_box(ops::gelu(&ops::add_bias(&h, &bias))); }, quick);
+    let after = measure_ns(|| { black_box(ops::add_bias_gelu(&h, &bias)); }, quick);
+    entries.push(("add_bias_gelu_512x512".into(), before, after));
+
+    let xm = Tensor::randn([256, 256], 1.0, &mut rng);
+    let w = Tensor::randn([256, 256], 1.0, &mut rng);
+    let wb = Tensor::randn([256], 1.0, &mut rng);
+    let before = measure_ns(|| { black_box(ops::add_bias(&ops::matmul(&xm, &w), &wb)); }, quick);
+    let after = measure_ns(|| { black_box(ops::matmul_bias(&xm, &w, &wb)); }, quick);
+    entries.push(("matmul_bias_256".into(), before, after));
+
+    let (n, ch, d) = (1024usize, 16usize, 64usize);
+    let y = Tensor::randn([n, ch, d], 1.0, &mut rng);
+    let pw = Tensor::randn([d, 1], 1.0, &mut rng);
+    let before = measure_ns(
+        || {
+            let logits = ops::matmul(&y, &pw).reshape(&[n, ch]);
+            let weights = ops::softmax_last(&logits).reshape(&[n, 1, ch]);
+            black_box(ops::bmm(&weights, &y));
+        },
+        quick,
+    );
+    let after = measure_ns(|| { black_box(ops::softmax_pool(&y, &pw)); }, quick);
+    entries.push(("softmax_pool_1024x16x64".into(), before, after));
+
+    let mut json = String::from("{\n  \"description\": \"Seed scalar kernels (before) vs cache-blocked GEMM + fused transformer kernels (after); ns per call, median\",\n");
+    json.push_str(&format!("  \"quick_mode\": {quick},\n  \"kernels\": {{\n"));
+    for (i, (name, before, after)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2} }}{comma}\n",
+            before / after
+        ));
+    }
+    json.push_str("  }\n}\n");
+    // Smoke runs (`-- --test`, e.g. CI) produce single-shot timings whose
+    // speedups are noise — keep them out of the committed file at the
+    // workspace root and park them under target/ instead.
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_kernels.smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_kernels JSON");
+    eprintln!("wrote {path}");
 }
 
 fn bench_attention_primitives(c: &mut Criterion) {
@@ -85,6 +425,6 @@ fn bench_autograd_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead
+    targets = bench_matmul, bench_gemm_blocking, bench_fusion, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead, emit_kernels_json
 }
 criterion_main!(benches);

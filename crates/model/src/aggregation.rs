@@ -48,7 +48,7 @@ impl CrossAttnAggregator {
     /// `x: [N, C, D] -> [N, D]` where `N` folds batch and spatial position.
     pub fn forward(&self, bind: &dyn Binder, x: &Var) -> Var {
         let tape = bind.tape();
-        let (n, c, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let (c, d) = (x.dims()[1], x.dims()[2]);
         assert_eq!(c, self.in_channels, "aggregator channel arity");
         assert_eq!(d, self.dim);
 
@@ -58,13 +58,10 @@ impl CrossAttnAggregator {
         let a = self.attn.forward(bind, &h);
         let y = tape.add(x, &a);
 
-        // Learned softmax pooling over channels.
-        let logits = tape.matmul(&y, &bind.bind(self.pool_w)); // [N, C, 1]
-        let logits = tape.reshape(&logits, &[n, c]);
-        let weights = tape.softmax_last(&logits);
-        let weights = tape.reshape(&weights, &[n, 1, c]);
-        let pooled = tape.bmm(&weights, &y); // [N, 1, D]
-        tape.reshape(&pooled, &[n, d])
+        // Learned softmax pooling over channels, fused: one tape node
+        // instead of matmul → reshape → softmax → reshape → bmm, and no
+        // [N,C,1]/[N,1,C]/[N,1,D] intermediates.
+        tape.softmax_pool(&y, &bind.bind(self.pool_w))
     }
 }
 

@@ -95,8 +95,9 @@ impl MultiHeadAttention {
         let k = self.split_heads(bind, &self.wk.forward(bind, kv_in));
         let v = self.split_heads(bind, &self.wv.forward(bind, kv_in));
 
-        let scores = tape.bmm_nt(&q, &k); // [B·H, Sq, Sk]
-        let scaled = tape.scale(&scores, 1.0 / (self.head_dim as f32).sqrt());
+        // Scores with the 1/√d factor fused into the GEMM packing — no
+        // materialized unscaled score tensor, no extra tape node.
+        let scaled = tape.bmm_nt_scaled(&q, &k, 1.0 / (self.head_dim as f32).sqrt());
         let attn = tape.softmax_last(&scaled);
         let ctx = tape.bmm(&attn, &v); // [B·H, Sq, dh]
 

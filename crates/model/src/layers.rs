@@ -44,10 +44,21 @@ impl Linear {
             self.in_dim,
             "Linear input width"
         );
-        let y = tape.matmul(x, &bind.bind(self.w));
         match self.b {
-            Some(b) => tape.add_bias(&y, &bind.bind(b)),
-            None => y,
+            // Fused kernel: bias broadcast into the GEMM output buffer,
+            // one tape node, no intermediate `x·W` tensor.
+            Some(b) => tape.matmul_bias(x, &bind.bind(self.w), &bind.bind(b)),
+            None => tape.matmul(x, &bind.bind(self.w)),
+        }
+    }
+
+    /// Fused `gelu(x·W + b)` forward (the MLP up-projection). Falls back to
+    /// the unfused pair when the layer has no bias.
+    pub fn forward_gelu(&self, bind: &dyn Binder, x: &Var) -> Var {
+        let tape = bind.tape();
+        match self.b {
+            Some(b) => tape.linear_gelu(x, &bind.bind(self.w), &bind.bind(b)),
+            None => tape.gelu(&tape.matmul(x, &bind.bind(self.w))),
         }
     }
 }
@@ -93,8 +104,7 @@ impl Mlp {
     }
 
     pub fn forward(&self, bind: &dyn Binder, x: &Var) -> Var {
-        let h = self.fc1.forward(bind, x);
-        let h = bind.tape().gelu(&h);
+        let h = self.fc1.forward_gelu(bind, x);
         self.fc2.forward(bind, &h)
     }
 }

@@ -61,33 +61,52 @@ impl AdamW {
             let Some(g) = grads.get(i).and_then(|g| g.as_ref()) else {
                 continue;
             };
-            let p = store.get(id).clone();
-            assert_eq!(p.dims(), g.dims(), "grad shape for {}", store.name(id));
+            assert_eq!(
+                store.get(id).dims(),
+                g.dims(),
+                "grad shape for {}",
+                store.name(id)
+            );
 
+            let shape = store.get(id).shape().clone();
             let m_prev = self
                 .m[i]
                 .take()
-                .unwrap_or_else(|| Tensor::zeros(p.shape().clone()));
+                .unwrap_or_else(|| Tensor::zeros(shape.clone()));
             let v_prev = self
                 .v[i]
                 .take()
-                .unwrap_or_else(|| Tensor::zeros(p.shape().clone()));
+                .unwrap_or_else(|| Tensor::zeros(shape.clone()));
 
-            let m = m_prev.zip(g, |m, g| self.beta1 * m + (1.0 - self.beta1) * g);
-            let v = v_prev.zip(g, |v, g| self.beta2 * v + (1.0 - self.beta2) * g * g);
-
-            let decay = if p.ndim() >= 2 { self.weight_decay } else { 0.0 };
-            let lr = self.lr;
-            let eps = self.eps;
-            let mut new = p.to_vec();
-            for ((x, mm), vv) in new.iter_mut().zip(m.data()).zip(v.data()) {
-                let mhat = mm / bc1;
-                let vhat = vv / bc2;
-                *x -= lr * (mhat / (vhat.sqrt() + eps) + decay * *x);
-            }
-            store.set(id, Tensor::from_vec(new, p.shape().clone()));
-            self.m[i] = Some(m);
-            self.v[i] = Some(v);
+            // Fused single-sweep update: moments and parameter mutate their
+            // own (uniquely owned) buffers instead of allocating three
+            // fresh tensors per parameter per step.
+            let decay = if shape.ndim() >= 2 { self.weight_decay } else { 0.0 };
+            let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+            let mut mdat = m_prev.into_data();
+            let mut vdat = v_prev.into_data();
+            let mut m_slot = None;
+            let mut v_slot = None;
+            store.update(id, |p| {
+                let mut pdat = p.into_data();
+                for (((x, mm), vv), &gg) in pdat
+                    .iter_mut()
+                    .zip(mdat.iter_mut())
+                    .zip(vdat.iter_mut())
+                    .zip(g.data())
+                {
+                    *mm = b1 * *mm + (1.0 - b1) * gg;
+                    *vv = b2 * *vv + (1.0 - b2) * gg * gg;
+                    let mhat = *mm / bc1;
+                    let vhat = *vv / bc2;
+                    *x -= lr * (mhat / (vhat.sqrt() + eps) + decay * *x);
+                }
+                m_slot = Some(Tensor::from_vec(mdat, shape.clone()));
+                v_slot = Some(Tensor::from_vec(vdat, shape.clone()));
+                Tensor::from_vec(pdat, shape.clone())
+            });
+            self.m[i] = m_slot;
+            self.v[i] = v_slot;
         }
     }
 }
@@ -105,7 +124,14 @@ pub fn clip_global_norm(grads: &mut [Option<Tensor>], max_norm: f32) -> f32 {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.iter_mut().flatten() {
-            *g = g.map(|x| x * scale);
+            // Reuse the gradient buffer when uniquely owned (the common
+            // case after the tape is dropped) instead of reallocating.
+            let shape = g.shape().clone();
+            let mut data = std::mem::replace(g, Tensor::scalar(0.0)).into_data();
+            for x in data.iter_mut() {
+                *x *= scale;
+            }
+            *g = Tensor::from_vec(data, shape);
         }
     }
     norm

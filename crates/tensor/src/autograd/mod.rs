@@ -143,7 +143,11 @@ impl Tape {
                     debug_assert!(input_id < id, "graph must be topological");
                     match &mut grads[input_id] {
                         Some(acc) => {
-                            *acc = crate::ops::add(acc, &contribution);
+                            // Accumulate in place: the slot holds the sole
+                            // reference, so the AXPY reuses its buffer
+                            // instead of allocating per contribution.
+                            let prev = std::mem::replace(acc, Tensor::scalar(0.0));
+                            *acc = crate::ops::add_scaled_into(prev, &contribution, 1.0);
                         }
                         slot @ None => *slot = Some(contribution),
                     }

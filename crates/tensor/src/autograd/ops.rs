@@ -77,6 +77,38 @@ impl Tape {
         })
     }
 
+    /// Fused Linear layer: `x·W + b` in one kernel and one tape node (the
+    /// bias broadcast rides in the GEMM output buffer).
+    pub fn matmul_bias(&self, a: &Var, w: &Var, bias: &Var) -> Var {
+        let (ia, iw, ib) = (a.id, w.id, bias.id);
+        let (va, vw) = (a.value().clone(), w.value().clone());
+        self.custom(
+            k::matmul_bias(a.value(), w.value(), bias.value()),
+            move |g, emit| {
+                let da = k::matmul_nt(g, &vw);
+                emit(ia, da.reshape(va.dims()));
+                emit(iw, k::matmul_tn(&va, g));
+                emit(ib, k::sum_to_last(g));
+            },
+        )
+    }
+
+    /// Fully fused feed-forward up-projection: `gelu(x·W + b)` as one tape
+    /// node, saving only the pre-activation for the backward pass.
+    pub fn linear_gelu(&self, a: &Var, w: &Var, bias: &Var) -> Var {
+        let (ia, iw, ib) = (a.id, w.id, bias.id);
+        let (va, vw) = (a.value().clone(), w.value().clone());
+        let (y, pre) = k::linear_gelu(a.value(), w.value(), bias.value());
+        self.custom(y, move |g, emit| {
+            // dpre = gelu'(pre) ⊙ g, then the usual Linear adjoints.
+            let (dpre, dbias) = k::add_bias_gelu_backward(&pre, g);
+            let da = k::matmul_nt(&dpre, &vw);
+            emit(ia, da.reshape(va.dims()));
+            emit(iw, k::matmul_tn(&va, &dpre));
+            emit(ib, dbias);
+        })
+    }
+
     /// Batched `[B,m,k] × [B,k,n]`.
     pub fn bmm(&self, a: &Var, b: &Var) -> Var {
         let (ia, ib) = (a.id, b.id);
@@ -90,13 +122,23 @@ impl Tape {
 
     /// Batched `Q · Kᵀ`: `[B,m,d] × [B,n,d] -> [B,m,n]` (attention scores).
     pub fn bmm_nt(&self, q: &Var, key: &Var) -> Var {
+        self.bmm_nt_scaled(q, key, 1.0)
+    }
+
+    /// Fused scaled attention scores `α · Q·Kᵀ`: the `1/√d` factor rides in
+    /// the GEMM packing instead of materializing a scaled copy of the
+    /// `[B,m,n]` score tensor (and its extra tape node).
+    pub fn bmm_nt_scaled(&self, q: &Var, key: &Var, alpha: f32) -> Var {
         let (iq, ik) = (q.id, key.id);
         let (vq, vk) = (q.value().clone(), key.value().clone());
-        self.custom(k::bmm_nt(q.value(), key.value()), move |g, emit| {
-            // Y = Q Kᵀ : dQ = dY · K ; dK = dYᵀ · Q
-            emit(iq, k::bmm(g, &vk));
-            emit(ik, k::bmm_tn(g, &vq));
-        })
+        self.custom(
+            k::bmm_nt_scaled(q.value(), key.value(), alpha),
+            move |g, emit| {
+                // Y = α·Q Kᵀ : dQ = α·dY · K ; dK = α·dYᵀ · Q
+                emit(iq, k::bmm_scaled(g, &vk, alpha));
+                emit(ik, k::bmm_tn_scaled(g, &vq, alpha));
+            },
+        )
     }
 
     // ----- activations / normalization --------------------------------------
@@ -107,6 +149,32 @@ impl Tape {
         self.custom(k::gelu(a.value()), move |g, emit| {
             let dx = va.zip(g, |x, gg| k::gelu_grad_scalar(x) * gg);
             emit(ia, dx);
+        })
+    }
+
+    /// Fused `gelu(a + bias)`: one sweep, one tape node, saving only the
+    /// pre-activation.
+    pub fn add_bias_gelu(&self, a: &Var, bias: &Var) -> Var {
+        let (ia, ib) = (a.id, bias.id);
+        let (y, pre) = k::add_bias_gelu(a.value(), bias.value());
+        self.custom(y, move |g, emit| {
+            let (dx, dbias) = k::add_bias_gelu_backward(&pre, g);
+            emit(ia, dx);
+            emit(ib, dbias);
+        })
+    }
+
+    /// Fused learned softmax pooling over channels: `[N,C,D] × [D,1] ->
+    /// [N,D]` (see [`crate::ops::softmax_pool`]). One tape node instead of
+    /// the matmul → reshape → softmax → reshape → bmm chain.
+    pub fn softmax_pool(&self, y: &Var, pool_w: &Var) -> Var {
+        let (iy, ip) = (y.id, pool_w.id);
+        let (vy, vp) = (y.value().clone(), pool_w.value().clone());
+        let (pooled, weights) = k::softmax_pool(y.value(), pool_w.value());
+        self.custom(pooled, move |g, emit| {
+            let (dy, dpw) = k::softmax_pool_backward(&vy, &vp, &weights, g);
+            emit(iy, dy);
+            emit(ip, dpw);
         })
     }
 
@@ -422,6 +490,119 @@ mod tests {
         let mask = Tensor::from_vec(vec![1.0, 0.0], [2]);
         let l = tape.masked_mse(&a, &b, &mask);
         assert!((l.value().item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_bias_gradcheck() {
+        let mut rng = Rng::new(10);
+        let x = Tensor::randn([2, 3, 4], 0.5, &mut rng);
+        let w = Tensor::randn([4, 5], 0.5, &mut rng);
+        let b = Tensor::randn([5], 0.5, &mut rng);
+        grad_check(
+            &[x, w, b],
+            |t, l| {
+                let y = t.matmul_bias(&l[0], &l[1], &l[2]);
+                t.sum_all(&t.mul(&y, &y))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused_chain() {
+        let mut rng = Rng::new(11);
+        let x = Tensor::randn([3, 4], 0.5, &mut rng);
+        let w = Tensor::randn([4, 2], 0.5, &mut rng);
+        let b = Tensor::randn([2], 0.5, &mut rng);
+        let run = |fused: bool| {
+            let tape = Tape::new();
+            let (xv, wv, bv) = (
+                tape.leaf(x.clone()),
+                tape.leaf(w.clone()),
+                tape.leaf(b.clone()),
+            );
+            let y = if fused {
+                tape.matmul_bias(&xv, &wv, &bv)
+            } else {
+                let m = tape.matmul(&xv, &wv);
+                tape.add_bias(&m, &bv)
+            };
+            let loss = tape.sum_all(&tape.mul(&y, &y));
+            let grads = tape.backward(&loss);
+            (
+                y.value().clone(),
+                grads.get(&xv).unwrap().clone(),
+                grads.get(&wv).unwrap().clone(),
+                grads.get(&bv).unwrap().clone(),
+            )
+        };
+        let (yf, dxf, dwf, dbf) = run(true);
+        let (yu, dxu, dwu, dbu) = run(false);
+        assert!(yf.max_abs_diff(&yu) < 1e-5);
+        assert!(dxf.max_abs_diff(&dxu) < 1e-5);
+        assert!(dwf.max_abs_diff(&dwu) < 1e-5);
+        assert!(dbf.max_abs_diff(&dbu) < 1e-5);
+    }
+
+    #[test]
+    fn linear_gelu_gradcheck() {
+        let mut rng = Rng::new(12);
+        let x = Tensor::randn([3, 4], 0.5, &mut rng);
+        let w = Tensor::randn([4, 6], 0.5, &mut rng);
+        let b = Tensor::randn([6], 0.5, &mut rng);
+        grad_check(
+            &[x, w, b],
+            |t, l| {
+                let y = t.linear_gelu(&l[0], &l[1], &l[2]);
+                t.sum_all(&t.mul(&y, &y))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn add_bias_gelu_gradcheck() {
+        let mut rng = Rng::new(13);
+        let x = Tensor::randn([4, 5], 0.6, &mut rng);
+        let b = Tensor::randn([5], 0.6, &mut rng);
+        grad_check(
+            &[x, b],
+            |t, l| {
+                let y = t.add_bias_gelu(&l[0], &l[1]);
+                t.sum_all(&t.mul(&y, &y))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn bmm_nt_scaled_gradcheck() {
+        let mut rng = Rng::new(14);
+        let q = Tensor::randn([2, 3, 4], 0.5, &mut rng);
+        let key = Tensor::randn([2, 5, 4], 0.5, &mut rng);
+        grad_check(
+            &[q, key],
+            |t, l| {
+                let s = t.bmm_nt_scaled(&l[0], &l[1], 0.5);
+                t.sum_all(&t.mul(&s, &s))
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_pool_gradcheck() {
+        let mut rng = Rng::new(15);
+        let y = Tensor::randn([2, 4, 3], 0.6, &mut rng);
+        let pw = Tensor::randn([3, 1], 0.6, &mut rng);
+        grad_check(
+            &[y, pw],
+            |t, l| {
+                let p = t.softmax_pool(&l[0], &l[1]);
+                t.sum_all(&t.mul(&p, &p))
+            },
+            3e-2,
+        );
     }
 
     #[test]

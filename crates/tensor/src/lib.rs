@@ -16,6 +16,7 @@ pub mod checkpoint;
 pub mod device;
 pub mod init;
 pub mod ops;
+pub(crate) mod par;
 pub mod param;
 pub mod rng;
 pub mod shape;

@@ -1,96 +1,547 @@
-//! Dense matrix multiplication kernels.
+//! Dense matrix multiplication: a cache-blocked, register-tiled,
+//! panel-packing GEMM.
 //!
-//! Three access patterns are implemented directly (NN, NT, TN) because they
-//! are exactly the shapes the forward and backward passes need; this avoids
-//! materializing transposed copies on the backward path. All kernels
-//! parallelize over output rows with rayon and keep the inner loop a
-//! contiguous AXPY or dot product.
+//! All matmul/bmm entry points route through one kernel,
+//! [`gemm`], parameterized by [`GemmLayout`]:
+//!
+//! * `NN` — `C += α · A[m,k] · B[k,n]`
+//! * `NT` — `C += α · A[m,k] · B[n,k]ᵀ` (attention scores `Q·Kᵀ`, `dY·Wᵀ`)
+//! * `TN` — `C += α · A[k,m]ᵀ · B[k,n]` (weight gradients `Xᵀ·dY`)
+//!
+//! The transposed operands are handled during *packing*, so the inner
+//! kernel always sees the same two contiguous panel formats and never pays
+//! for strided access. The blocking hierarchy is the classic three-loop
+//! panel decomposition (Goto/BLIS):
+//!
+//! ```text
+//! for jc in 0..n step NC        # B panel column block   (≈ L2/L3)
+//!   for pc in 0..k step KC      # depth block            (packed panels)
+//!     pack B[pc.., jc..]  ->  KC×NC panel, NR-interleaved
+//!     for ic in 0..m step MC    # A panel row block      (≈ L2)
+//!       pack A[ic.., pc..] -> MC×KC panel, MR-interleaved (α folded here)
+//!       for jr, ir: MR×NR register micro-tile, k-major accumulation
+//! ```
+//!
+//! The micro-kernel is written over fixed-size `[f32; 8]` windows so LLVM
+//! auto-vectorizes it (one 8-lane FMA per accumulator row half, with the
+//! a-element broadcast folded into the FMA's memory operand) — no `unsafe`
+//! and no explicit intrinsics in the kernel itself. See the `MR`/`NR`
+//! constants for how the tile shape is derived from register arithmetic.
+//!
+//! Parallelism is two-dimensional over (row-block × column-block) tiles of
+//! C, each task packing its own panels into thread-local buffers, with a
+//! split-K fallback for skinny outputs (tall-thin or short-wide shapes
+//! whose C tile grid is smaller than the machine). Dispatch is gated on
+//! total FLOPs (`m·n·k`), not output size, so a `[4, 1M] × [1M, 8]`
+//! product still parallelizes.
+
+use std::cell::RefCell;
 
 use rayon::prelude::*;
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-/// Below this many output elements the rayon dispatch overhead dominates;
-/// run single-threaded.
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// Register micro-tile rows (per packed A micro-panel).
+const MR: usize = 6;
+/// Register micro-tile columns (per packed B micro-panel), processed as
+/// two [`NRH`]-wide vector halves.
+///
+/// The 6×16 shape is chosen from register arithmetic: 12 accumulator
+/// vectors + 2 B vectors + 1 broadcast temp = 15, fitting the 16
+/// architectural vector registers, and each A-element broadcast (a load
+/// µop) feeds two FMAs, so the kernel is FMA-port-bound rather than
+/// load-port-bound. Bigger accumulators (8×16, 12×8) spill: LLVM stops
+/// promoting aggregates past ~64 floats.
+const NR: usize = 16;
+/// Vector half-width: one 8-lane (256-bit) FMA. LLVM's SLP vectorizer
+/// reliably turns an 8-wide fixed loop into a full-width FMA; flat 16- or
+/// 32-wide loops scalarize.
+const NRH: usize = 8;
+/// Rows per packed A panel (MC×KC ≈ 128 KiB, streams through L2).
+const MC: usize = 120;
+/// Depth per packed panel pair.
+const KC: usize = 256;
+/// Columns per packed B panel (KC×NC ≈ 256 KiB; the hot KC×NR strip the
+/// micro-kernel reads stays L1-resident).
+const NC: usize = 256;
 
-#[inline]
-fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+/// Below this many multiply-adds (`m·n·k`) the whole product runs
+/// single-threaded: parallel dispatch costs more than it saves.
+const PAR_FLOPS: usize = 1 << 19;
+
+/// Below this many multiply-adds the panel-packing machinery is skipped in
+/// favor of direct row-major loops (unit-test-sized operands).
+const SMALL_FLOPS: usize = 1 << 15;
+
+/// Operand access pattern: which side is logically transposed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GemmLayout {
+    /// `A[m,k] · B[k,n]`
+    NN,
+    /// `A[m,k] · B[n,k]ᵀ`
+    NT,
+    /// `A[k,m]ᵀ · B[k,n]`
+    TN,
+}
+
+impl GemmLayout {
+    #[inline]
+    fn a_transposed(self) -> bool {
+        matches!(self, GemmLayout::TN)
+    }
+
+    #[inline]
+    fn b_transposed(self) -> bool {
+        matches!(self, GemmLayout::NT)
     }
 }
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // 4-way unrolled accumulation: better ILP and less rounding drift.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
-    }
-    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for j in chunks * 4..a.len() {
-        s += a[j] * b[j];
-    }
-    s
-}
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
 
-/// C[m,n] = A[m,k] · B[k,n]
-fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (p, &aip) in a_row.iter().enumerate() {
-            if aip != 0.0 {
-                axpy(aip, &b[p * n..(p + 1) * n], c_row);
+/// Pack `A[ic..ic+mc, pc..pc+kc]` (logical m×k indexing) into MR-interleaved
+/// micro-panels: panel `r` holds rows `ic+r·MR..` stored k-major, i.e.
+/// `buf[r·MR·kc + p·MR + i] = α · a(ic + r·MR + i, pc + p)`, zero-padded to
+/// a full MR rows.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    layout: GemmLayout,
+    alpha: f32,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut [f32],
+) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(buf.len() >= panels * MR * kc);
+    for r in 0..panels {
+        let row0 = ic + r * MR;
+        let rows = MR.min(ic + mc - row0);
+        let panel = &mut buf[r * MR * kc..(r + 1) * MR * kc];
+        if layout.a_transposed() {
+            // a is [k, m]: a(i, p) = a[p*m + i] — source rows are contiguous
+            // in the pack destination order, so copy p-major.
+            for p in 0..kc {
+                let src = &a[(pc + p) * m + row0..(pc + p) * m + row0 + rows];
+                let dst = &mut panel[p * MR..p * MR + MR];
+                dst[..rows].copy_from_slice(src);
+                dst[rows..].fill(0.0);
+                for v in dst[..rows].iter_mut() {
+                    *v *= alpha;
+                }
+            }
+        } else {
+            // a is [m, k]: a(i, p) = a[i*k + p].
+            for p in 0..kc {
+                let dst = &mut panel[p * MR..p * MR + MR];
+                for i in 0..rows {
+                    dst[i] = alpha * a[(row0 + i) * k + pc + p];
+                }
+                dst[rows..].fill(0.0);
             }
         }
-    };
-    if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
     }
 }
 
-/// C[m,n] = A[m,k] · B[n,k]ᵀ  (B stored row-major as [n,k])
-fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (j, cij) in c_row.iter_mut().enumerate() {
-            *cij = dot(a_row, &b[j * k..(j + 1) * k]);
-        }
-    };
-    if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
-    }
-}
-
-/// C[m,n] = A[k,m]ᵀ · B[k,n]  (A stored row-major as [k,m])
-fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    let body = |(i, c_row): (usize, &mut [f32])| {
-        for p in 0..k {
-            let aip = a[p * m + i];
-            if aip != 0.0 {
-                axpy(aip, &b[p * n..(p + 1) * n], c_row);
+/// Pack `B[pc..pc+kc, jc..jc+nc]` (logical k×n indexing) into NR-interleaved
+/// micro-panels: `buf[c·NR·kc + p·NR + j] = b(pc + p, jc + c·NR + j)`,
+/// zero-padded to a full NR columns.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    layout: GemmLayout,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    buf: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * NR * kc);
+    for c in 0..panels {
+        let col0 = jc + c * NR;
+        let cols = NR.min(jc + nc - col0);
+        let panel = &mut buf[c * NR * kc..(c + 1) * NR * kc];
+        if layout.b_transposed() {
+            // b is [n, k]: b(p, j) = b[j*k + p].
+            for p in 0..kc {
+                let dst = &mut panel[p * NR..p * NR + NR];
+                for j in 0..cols {
+                    dst[j] = b[(col0 + j) * k + pc + p];
+                }
+                dst[cols..].fill(0.0);
+            }
+        } else {
+            // b is [k, n]: b(p, j) = b[p*n + j] — contiguous source rows.
+            for p in 0..kc {
+                let src = &b[(pc + p) * n + col0..(pc + p) * n + col0 + cols];
+                let dst = &mut panel[p * NR..p * NR + NR];
+                dst[..cols].copy_from_slice(src);
+                dst[cols..].fill(0.0);
             }
         }
-    };
-    if m * n >= PAR_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        c.chunks_mut(n).enumerate().for_each(body);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Micro-kernel
+// ---------------------------------------------------------------------------
+
+/// `acc[MR][NR] += Ap(MR×kc) · Bp(kc×NR)` over packed micro-panels.
+///
+/// The fixed-size array windows let LLVM keep `acc` in registers and turn
+/// the inner `j` loop into one 8-lane FMA per `i` — verified against the
+/// seed scalar kernel in `benches/kernels.rs` (`gemm_blocking` group).
+#[inline(always)]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32]) -> ([[f32; NRH]; MR], [[f32; NRH]; MR]) {
+    #[inline(always)]
+    fn step(acc0: &mut [[f32; NRH]; MR], acc1: &mut [[f32; NRH]; MR], a: &[f32], b: &[f32]) {
+        let a: &[f32; MR] = a.try_into().unwrap();
+        let b0: &[f32; NRH] = b[..NRH].try_into().unwrap();
+        let b1: &[f32; NRH] = b[NRH..NR].try_into().unwrap();
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NRH {
+                // `mul_add` lowers to a hardware FMA once the j-loop
+                // vectorizes (Rust never contracts `a*b + c` on its own).
+                acc0[i][j] = ai.mul_add(b0[j], acc0[i][j]);
+            }
+            for j in 0..NRH {
+                acc1[i][j] = ai.mul_add(b1[j], acc1[i][j]);
+            }
+        }
+    }
+
+    let mut acc0 = [[0.0f32; NRH]; MR];
+    let mut acc1 = [[0.0f32; NRH]; MR];
+    // Two depth steps per iteration: the even unroll keeps the accumulator
+    // registers in place (an odd rotation costs a register-copy per row per
+    // step, which hurts FMA throughput).
+    let kc2 = kc & !1;
+    let mut p = 0;
+    while p < kc2 {
+        step(&mut acc0, &mut acc1, &ap[p * MR..(p + 1) * MR], &bp[p * NR..(p + 1) * NR]);
+        step(
+            &mut acc0,
+            &mut acc1,
+            &ap[(p + 1) * MR..(p + 2) * MR],
+            &bp[(p + 1) * NR..(p + 2) * NR],
+        );
+        p += 2;
+    }
+    if p < kc {
+        step(&mut acc0, &mut acc1, &ap[p * MR..(p + 1) * MR], &bp[p * NR..(p + 1) * NR]);
+    }
+    (acc0, acc1)
+}
+
+// ---------------------------------------------------------------------------
+// Serial blocked driver
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static PACK_A_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Exclusive window onto a C tile: rows `i0..i0+mt` restricted to columns
+/// `j0..j0+nt` of a row-major `[m, n]` buffer.
+///
+/// Holds a raw base pointer rather than a `&mut [f32]` so the 2-D parallel
+/// driver can hand each task its own tile without ever creating two live
+/// mutable references to overlapping memory: a mutable slice only
+/// materializes per disjoint row *segment* inside [`CTile::row`].
+///
+/// Invariant (upheld by every constructor site): while a `CTile` is alive,
+/// nothing else reads or writes its (row-range × column-range) window, and
+/// distinct tiles' windows never overlap.
+struct CTile<'a> {
+    base: *mut f32,
+    len: usize,
+    n: usize,
+    i0: usize,
+    j0: usize,
+    _c: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+// SAFETY: a CTile is an exclusive capability over its disjoint window (see
+// the invariant above), so moving it to another thread is sound; sharing
+// `&CTile` is sound because all access to the window goes through
+// `row(&mut self, ..)`.
+unsafe impl Send for CTile<'_> {}
+unsafe impl Sync for CTile<'_> {}
+
+impl<'a> CTile<'a> {
+    fn new(c: &'a mut [f32], n: usize, i0: usize, j0: usize) -> Self {
+        CTile {
+            base: c.as_mut_ptr(),
+            len: c.len(),
+            n,
+            i0,
+            j0,
+            _c: std::marker::PhantomData,
+        }
+    }
+
+    /// A sub-window over the same buffer. Caller must ensure the windows
+    /// handed out are pairwise disjoint and that `self` is not used for
+    /// writes while they live (the 2-D driver's tiles partition C).
+    fn window(&self, i0: usize, j0: usize) -> CTile<'a> {
+        CTile {
+            base: self.base,
+            len: self.len,
+            n: self.n,
+            i0,
+            j0,
+            _c: std::marker::PhantomData,
+        }
+    }
+
+    /// Row `i` (tile-relative), `len` columns starting at tile column `j`.
+    #[inline]
+    fn row(&mut self, i: usize, j: usize, len: usize) -> &mut [f32] {
+        let start = (self.i0 + i) * self.n + self.j0 + j;
+        debug_assert!(start + len <= self.len);
+        // SAFETY: the segment lies inside this tile's exclusive window
+        // (callers keep `i < mt`, `j + len <= nt`), `&mut self` prevents a
+        // second live segment from this tile, and the window invariant
+        // rules out aliasing with other tiles or readers.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(start), len) }
+    }
+}
+
+/// Serial blocked GEMM onto one C tile, over depth range `p0..p1`.
+///
+/// `a`/`b` are always the *full* operand buffers; the tile/depth windows
+/// select the sub-problem, which is what the split-K and 2-D-tile parallel
+/// drivers are built from.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tile_serial(
+    layout: GemmLayout,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    tile: &mut CTile<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    (i0, mt): (usize, usize),
+    (j0, nt): (usize, usize),
+    (p0, p1): (usize, usize),
+) {
+    debug_assert_eq!((tile.i0, tile.j0), (i0, j0));
+    PACK_A_BUF.with(|pa| {
+        PACK_B_BUF.with(|pb| {
+            let mut pa = pa.borrow_mut();
+            let mut pb = pb.borrow_mut();
+            pa.resize(MC.div_ceil(MR) * MR * KC, 0.0);
+            pb.resize(NC.div_ceil(NR) * NR * KC, 0.0);
+
+            let mut jc = 0;
+            while jc < nt {
+                let nc = NC.min(nt - jc);
+                let mut pc = p0;
+                while pc < p1 {
+                    let kc = KC.min(p1 - pc);
+                    pack_b(layout, b, k, n, pc, kc, j0 + jc, nc, &mut pb);
+                    let mut ic = 0;
+                    while ic < mt {
+                        let mc = MC.min(mt - ic);
+                        pack_a(layout, alpha, a, m, k, i0 + ic, mc, pc, kc, &mut pa);
+                        for jr in 0..nc.div_ceil(NR) {
+                            let bp = &pb[jr * NR * kc..(jr + 1) * NR * kc];
+                            let nr = NR.min(nc - jr * NR);
+                            for ir in 0..mc.div_ceil(MR) {
+                                let ap = &pa[ir * MR * kc..(ir + 1) * MR * kc];
+                                let mr = MR.min(mc - ir * MR);
+                                let (acc0, acc1) = microkernel(kc, ap, bp);
+                                for i in 0..mr {
+                                    let crow =
+                                        tile.row(ic + ir * MR + i, jc + jr * NR, nr);
+                                    for (j, cv) in crow.iter_mut().enumerate() {
+                                        let half = if j < NRH { &acc0 } else { &acc1 };
+                                        *cv += half[i][j % NRH];
+                                    }
+                                }
+                            }
+                        }
+                        ic += mc;
+                    }
+                    pc += kc;
+                }
+                jc += nc;
+            }
+        })
+    });
+}
+
+/// Direct row-major loops for operands too small to amortize packing.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    match layout {
+        GemmLayout::NN => {
+            for (i, c_row) in c.chunks_mut(n).enumerate() {
+                for p in 0..k {
+                    let aip = alpha * a[i * k + p];
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+        GemmLayout::NT => {
+            for (i, c_row) in c.chunks_mut(n).enumerate() {
+                let a_row = &a[i * k..(i + 1) * k];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut s = 0.0f32;
+                    for (av, bv) in a_row.iter().zip(b_row) {
+                        s += av * bv;
+                    }
+                    *cv += alpha * s;
+                }
+            }
+        }
+        GemmLayout::TN => {
+            for (i, c_row) in c.chunks_mut(n).enumerate() {
+                for p in 0..k {
+                    let aip = alpha * a[p * m + i];
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel drivers
+// ---------------------------------------------------------------------------
+
+/// `C[m,n] += α · op(A) · op(B)` — the single entry point every matmul/bmm
+/// variant and autograd adjoint routes through.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let flops = m * n * k;
+    if flops < SMALL_FLOPS {
+        return gemm_small(layout, alpha, a, b, c, m, k, n);
+    }
+    if flops < PAR_FLOPS || rayon::current_num_threads() == 1 {
+        return gemm_serial(layout, alpha, a, b, c, m, k, n);
+    }
+
+    let row_blocks = m.div_ceil(MC);
+    let col_blocks = n.div_ceil(NC);
+    // Any tile-level parallelism beats none; split-K only wins when the
+    // tile grid is a single tile but the depth is long.
+    if row_blocks * col_blocks >= 2 {
+        gemm_parallel_2d(layout, alpha, a, b, c, m, k, n, row_blocks, col_blocks);
+    } else if k >= 4 * KC {
+        gemm_parallel_split_k(layout, alpha, a, b, c, m, k, n);
+    } else {
+        gemm_serial(layout, alpha, a, b, c, m, k, n);
+    }
+}
+
+/// Serial blocked product over the whole output.
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut tile = CTile::new(c, n, 0, 0);
+    gemm_tile_serial(layout, alpha, a, b, &mut tile, m, k, n, (0, m), (0, n), (0, k));
+}
+
+/// 2-D tiling over (row-block × column-block) of C. Tiles write disjoint
+/// C regions; each task packs its own panels into thread-local buffers.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel_2d(
+    layout: GemmLayout,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+) {
+    // One prototype tile borrows `c` for the whole parallel region; each
+    // task clones it with its own disjoint window. Mutable slices only ever
+    // materialize per row segment inside `CTile::row`, so no two live
+    // `&mut` overlap (see the `CTile` invariant).
+    let proto = CTile::new(c, n, 0, 0);
+    (0..row_blocks * col_blocks).into_par_iter().for_each(|t| {
+        let (rb, cb) = (t / col_blocks, t % col_blocks);
+        let i0 = rb * MC;
+        let mt = MC.min(m - i0);
+        let j0 = cb * NC;
+        let nt = NC.min(n - j0);
+        // Tiles partition C: distinct `t` ⇒ disjoint (row-range ×
+        // col-range) windows, and the parallel call joins before `c`'s
+        // borrow ends.
+        let mut tile = proto.window(i0, j0);
+        gemm_tile_serial(layout, alpha, a, b, &mut tile, m, k, n, (i0, mt), (j0, nt), (0, k));
+    });
+}
+
+/// Split-K: partition the depth across tasks, each accumulating into its
+/// own private `m×n` partial, then reduce. Used for skinny outputs (e.g.
+/// `[4, 1M] × [1M, 8]`) where the C tile grid has too little parallelism.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel_split_k(
+    layout: GemmLayout,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // The chunk count is derived from the problem size only — never the
+    // thread count — so the partial-sum grouping (and therefore the f32
+    // result, bit for bit) is identical on every machine. The fixed cap
+    // bounds the partial-buffer memory.
+    const SPLIT_K_GRAIN: usize = 4 * KC;
+    const SPLIT_K_MAX_CHUNKS: usize = 16;
+    let chunks = k.div_ceil(SPLIT_K_GRAIN).min(SPLIT_K_MAX_CHUNKS);
+    let per = k.div_ceil(chunks);
+    let partials: Vec<Vec<f32>> = (0..chunks)
+        .into_par_iter()
+        .map(|t| {
+            let p0 = t * per;
+            let p1 = ((t + 1) * per).min(k);
+            let mut partial = vec![0.0f32; m * n];
+            let mut tile = CTile::new(&mut partial, n, 0, 0);
+            gemm_tile_serial(layout, alpha, a, b, &mut tile, m, k, n, (0, m), (0, n), (p0, p1));
+            partial
+        })
+        .collect();
+    for partial in partials {
+        for (cv, pv) in c.iter_mut().zip(&partial) {
+            *cv += pv;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor entry points
+// ---------------------------------------------------------------------------
 
 /// `[m,k] × [k,n] -> [m,n]`. Higher-rank `a` is folded to 2-D over its last
 /// axis.
@@ -101,7 +552,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dims {} vs {}", a.shape(), b.shape());
     let mut c = vec![0.0f32; m * n];
-    gemm_nn(a2.data(), b.data(), &mut c, m, k, n);
+    gemm(GemmLayout::NN, 1.0, a2.data(), b.data(), &mut c, m, k, n);
     // Preserve leading batch axes of `a`.
     let mut out_dims = a.dims().to_vec();
     *out_dims.last_mut().unwrap() = n;
@@ -116,7 +567,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, k2) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul_nt inner dims {} vs {}", a.shape(), b.shape());
     let mut c = vec![0.0f32; m * n];
-    gemm_nt(a2.data(), b.data(), &mut c, m, k, n);
+    gemm(GemmLayout::NT, 1.0, a2.data(), b.data(), &mut c, m, k, n);
     let mut out_dims = a.dims().to_vec();
     *out_dims.last_mut().unwrap() = n;
     Tensor::from_vec(c, Shape::new(&out_dims))
@@ -130,7 +581,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b2.dims()[0], b2.dims()[1]);
     assert_eq!(k, k2, "matmul_tn inner dims {} vs {}", a.shape(), b.shape());
     let mut c = vec![0.0f32; m * n];
-    gemm_tn(a2.data(), b2.data(), &mut c, m, k, n);
+    gemm(GemmLayout::TN, 1.0, a2.data(), b2.data(), &mut c, m, k, n);
     Tensor::from_vec(c, [m, n])
 }
 
@@ -143,73 +594,105 @@ fn bmm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize, usize, usize
     (ba, m, ka, bb, d1, d2)
 }
 
-/// Batched `[B,m,k] × [B,k,n] -> [B,m,n]`.
-pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
-    let (bs, m, k, _, k2, n) = bmm_dims(a, b);
-    assert_eq!(k, k2, "bmm inner dims {} vs {}", a.shape(), b.shape());
+/// Shared batched driver: per-batch `C_b += α · op(A_b) · op(B_b)`.
+/// Parallelizes over batches when the batch grid offers enough tasks;
+/// otherwise runs batches serially and lets [`gemm`] parallelize inside.
+#[allow(clippy::too_many_arguments)]
+fn bmm_driver(
+    layout: GemmLayout,
+    alpha: f32,
+    a: &Tensor,
+    b: &Tensor,
+    bs: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Tensor {
+    let (a_sz, b_sz) = (m * k, k * n);
     let mut c = vec![0.0f32; bs * m * n];
-    let run = |(bi, c_b): (usize, &mut [f32])| {
-        gemm_nn(
-            &a.data()[bi * m * k..(bi + 1) * m * k],
-            &b.data()[bi * k * n..(bi + 1) * k * n],
-            c_b,
-            m,
-            k,
-            n,
-        );
-    };
-    if bs * m * n >= PAR_THRESHOLD && bs > 1 {
-        c.par_chunks_mut(m * n).enumerate().for_each(run);
+    let per_batch_flops = m * n * k;
+    // Parallelize over batches when they are the only available parallelism
+    // (each product too small to self-parallelize) or when there are enough
+    // of them to occupy the machine; otherwise run batches serially and let
+    // `gemm` parallelize inside each product.
+    let batch_parallel = bs > 1
+        && bs * per_batch_flops >= PAR_FLOPS
+        && (per_batch_flops < PAR_FLOPS || bs >= rayon::current_num_threads());
+    if batch_parallel {
+        c.par_chunks_mut(m * n).enumerate().for_each(|(bi, c_b)| {
+            gemm_serial_or_small(
+                layout,
+                alpha,
+                &a.data()[bi * a_sz..(bi + 1) * a_sz],
+                &b.data()[bi * b_sz..(bi + 1) * b_sz],
+                c_b,
+                m,
+                k,
+                n,
+            );
+        });
     } else {
-        c.chunks_mut(m * n).enumerate().for_each(run);
+        for (bi, c_b) in c.chunks_mut(m * n).enumerate() {
+            gemm(
+                layout,
+                alpha,
+                &a.data()[bi * a_sz..(bi + 1) * a_sz],
+                &b.data()[bi * b_sz..(bi + 1) * b_sz],
+                c_b,
+                m,
+                k,
+                n,
+            );
+        }
     }
     Tensor::from_vec(c, [bs, m, n])
+}
+
+/// Per-batch body for the batched parallel loop (no nested parallelism).
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial_or_small(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * n * k < SMALL_FLOPS {
+        gemm_small(layout, alpha, a, b, c, m, k, n);
+    } else {
+        gemm_serial(layout, alpha, a, b, c, m, k, n);
+    }
+}
+
+/// Batched `[B,m,k] × [B,k,n] -> [B,m,n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm_scaled(a, b, 1.0)
+}
+
+/// Batched `[B,m,k] × [B,k,n] -> α·[B,m,n]` (scale folded into packing).
+pub fn bmm_scaled(a: &Tensor, b: &Tensor, alpha: f32) -> Tensor {
+    let (bs, m, k, _, k2, n) = bmm_dims(a, b);
+    assert_eq!(k, k2, "bmm inner dims {} vs {}", a.shape(), b.shape());
+    bmm_driver(GemmLayout::NN, alpha, a, b, bs, m, k, n)
 }
 
 /// Batched `[B,m,k] × [B,n,k]ᵀ -> [B,m,n]` (attention scores `Q·Kᵀ`).
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm_nt_scaled(a, b, 1.0)
+}
+
+/// Batched `α · Q·Kᵀ`: the fused attention-score kernel (`1/√d` never
+/// materializes a scaled copy — it rides along in the A panel packing).
+pub fn bmm_nt_scaled(a: &Tensor, b: &Tensor, alpha: f32) -> Tensor {
     let (bs, m, k, _, n, k2) = bmm_dims(a, b);
     assert_eq!(k, k2, "bmm_nt inner dims {} vs {}", a.shape(), b.shape());
-    let mut c = vec![0.0f32; bs * m * n];
-    let run = |(bi, c_b): (usize, &mut [f32])| {
-        gemm_nt(
-            &a.data()[bi * m * k..(bi + 1) * m * k],
-            &b.data()[bi * n * k..(bi + 1) * n * k],
-            c_b,
-            m,
-            k,
-            n,
-        );
-    };
-    if bs * m * n >= PAR_THRESHOLD && bs > 1 {
-        c.par_chunks_mut(m * n).enumerate().for_each(run);
-    } else {
-        c.chunks_mut(m * n).enumerate().for_each(run);
-    }
-    Tensor::from_vec(c, [bs, m, n])
+    bmm_driver(GemmLayout::NT, alpha, a, b, bs, m, k, n)
 }
 
 /// Batched `[B,k,m]ᵀ × [B,k,n] -> [B,m,n]` (attention backward `Aᵀ·dY`).
 pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    bmm_tn_scaled(a, b, 1.0)
+}
+
+/// Batched `α · Aᵀ·B` (backward of the scaled-score kernel).
+pub fn bmm_tn_scaled(a: &Tensor, b: &Tensor, alpha: f32) -> Tensor {
     let (bs, k, m, _, k2, n) = bmm_dims(a, b);
     assert_eq!(k, k2, "bmm_tn inner dims {} vs {}", a.shape(), b.shape());
-    let mut c = vec![0.0f32; bs * m * n];
-    let run = |(bi, c_b): (usize, &mut [f32])| {
-        gemm_tn(
-            &a.data()[bi * k * m..(bi + 1) * k * m],
-            &b.data()[bi * k * n..(bi + 1) * k * n],
-            c_b,
-            m,
-            k,
-            n,
-        );
-    };
-    if bs * m * n >= PAR_THRESHOLD && bs > 1 {
-        c.par_chunks_mut(m * n).enumerate().for_each(run);
-    } else {
-        c.chunks_mut(m * n).enumerate().for_each(run);
-    }
-    Tensor::from_vec(c, [bs, m, n])
+    bmm_driver(GemmLayout::TN, alpha, a, b, bs, m, k, n)
 }
 
 #[cfg(test)]
@@ -349,5 +832,135 @@ mod tests {
             }
             assert!((big.at(i * 128 + j) - s).abs() < 1e-3);
         }
+    }
+
+    // ---- blocked-kernel edge shapes -----------------------------------
+
+    /// Reference product via explicit index arithmetic for any layout.
+    fn reference(layout: GemmLayout, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for p in 0..k {
+                    let av = match layout {
+                        GemmLayout::TN => a[p * m + i],
+                        _ => a[i * k + p],
+                    } as f64;
+                    let bv = match layout {
+                        GemmLayout::NT => b[j * k + p],
+                        _ => b[p * n + j],
+                    } as f64;
+                    s += av * bv;
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn check_layout(layout: GemmLayout, m: usize, k: usize, n: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let (a_len, b_len) = (m * k, k * n);
+        let mut a = vec![0.0f32; a_len];
+        let mut b = vec![0.0f32; b_len];
+        rng.fill_normal(&mut a, 1.0);
+        rng.fill_normal(&mut b, 1.0);
+        let mut c = vec![0.0f32; m * n];
+        gemm(layout, 1.0, &a, &b, &mut c, m, k, n);
+        let want = reference(layout, &a, &b, m, k, n);
+        for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-3 * k.max(1) as f32,
+                "{layout:?} {m}x{k}x{n} differs at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_leaves_output_zero_filled() {
+        for layout in [GemmLayout::NN, GemmLayout::NT, GemmLayout::TN] {
+            let mut c = vec![0.0f32; 3 * 4];
+            gemm(layout, 1.0, &[], &[], &mut c, 3, 0, 4);
+            assert!(c.iter().all(|&x| x == 0.0), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn row_and_column_vector_shapes() {
+        for layout in [GemmLayout::NN, GemmLayout::NT, GemmLayout::TN] {
+            check_layout(layout, 1, 33, 17, 21); // m = 1
+            check_layout(layout, 19, 33, 1, 22); // n = 1
+            check_layout(layout, 1, 1, 1, 23); // all degenerate
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_tile_dims() {
+        for layout in [GemmLayout::NN, GemmLayout::NT, GemmLayout::TN] {
+            check_layout(layout, 67, 33, 129, 31);
+        }
+    }
+
+    #[test]
+    fn blocked_path_spans_panel_boundaries() {
+        // Crosses MC/KC/NC at least once in every dimension.
+        for layout in [GemmLayout::NN, GemmLayout::NT, GemmLayout::TN] {
+            check_layout(layout, MC + 3, KC + 5, NC + 7, 41);
+        }
+    }
+
+    #[test]
+    fn alpha_scales_product_exactly() {
+        let mut rng = Rng::new(51);
+        let a = Tensor::randn([40, 30], 1.0, &mut rng);
+        let b = Tensor::randn([30, 20], 1.0, &mut rng);
+        let mut c1 = vec![0.0f32; 40 * 20];
+        let mut c2 = vec![0.0f32; 40 * 20];
+        gemm(GemmLayout::NN, 2.5, a.data(), b.data(), &mut c1, 40, 30, 20);
+        gemm(GemmLayout::NN, 1.0, a.data(), b.data(), &mut c2, 40, 30, 20);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - 2.5 * y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_nonzero_c() {
+        let mut rng = Rng::new(52);
+        let a = Tensor::randn([10, 12], 1.0, &mut rng);
+        let b = Tensor::randn([12, 9], 1.0, &mut rng);
+        let mut c = vec![1.0f32; 10 * 9];
+        gemm(GemmLayout::NN, 1.0, a.data(), b.data(), &mut c, 10, 12, 9);
+        let want = reference(GemmLayout::NN, a.data(), b.data(), 10, 12, 9);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - (y + 1.0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn split_k_path_matches_reference() {
+        // Skinny output with deep k: 2 rows, deep depth — forces the
+        // split-K parallel path when threads are available.
+        let m = 2;
+        let k = 4 * KC + 37;
+        let n = 6;
+        check_layout(GemmLayout::NN, m, k, n, 61);
+        check_layout(GemmLayout::NT, m, k, n, 62);
+        check_layout(GemmLayout::TN, m, k, n, 63);
+    }
+
+    #[test]
+    fn parallel_2d_path_matches_reference() {
+        check_layout(GemmLayout::NN, 2 * MC + 9, 2 * KC + 1, 2 * NC + 11, 71);
+    }
+
+    #[test]
+    fn scaled_bmm_variants_match_scale_after() {
+        let mut rng = Rng::new(81);
+        let q = Tensor::randn([3, 10, 8], 1.0, &mut rng);
+        let kt = Tensor::randn([3, 12, 8], 1.0, &mut rng);
+        let fused = bmm_nt_scaled(&q, &kt, 0.25);
+        let unfused = bmm_nt(&q, &kt).map(|x| 0.25 * x);
+        assert!(fused.max_abs_diff(&unfused) < 1e-5);
     }
 }

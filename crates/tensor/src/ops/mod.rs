@@ -4,16 +4,21 @@
 //! in [`crate::autograd`] wraps these with backward rules.
 
 pub mod elementwise;
+pub mod fused;
 pub mod gemm;
 pub mod norm;
 pub mod reduce;
 pub mod shape_ops;
 
 pub use elementwise::{
-    add, add_bias, add_scaled, gelu, gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square,
-    sub,
+    add, add_bias, add_bias_gelu, add_bias_gelu_backward, add_scaled, add_scaled_into, gelu,
+    gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square, sub,
 };
-pub use gemm::{bmm, bmm_nt, bmm_tn, matmul, matmul_nt, matmul_tn};
+pub use fused::{linear_gelu, matmul_bias, softmax_pool, softmax_pool_backward};
+pub use gemm::{
+    bmm, bmm_nt, bmm_nt_scaled, bmm_scaled, bmm_tn, bmm_tn_scaled, gemm, matmul, matmul_nt,
+    matmul_tn, GemmLayout,
+};
 pub use norm::{layernorm, layernorm_backward, LayerNormCtx, LN_EPS};
 pub use reduce::{
     mean_all, mean_axis1, softmax_last, softmax_last_backward, sum_all, sum_to_last,

@@ -1,0 +1,118 @@
+//! Shared parallel-dispatch helpers for the kernel layer.
+//!
+//! Every rowwise kernel uses the same pattern — run serial below a size
+//! threshold, otherwise fan out over last-axis rows — so the threshold and
+//! the dispatch live here once instead of being re-derived per module.
+
+use rayon::prelude::*;
+
+/// Elements below which rowwise kernels stay single-threaded: parallel
+/// dispatch overhead beats the work saved.
+pub(crate) const PAR_NUMEL: usize = 64 * 1024;
+
+/// Apply `f` to every `n`-sized row of `out`, in parallel when large.
+pub(crate) fn for_each_row(out: &mut [f32], n: usize, f: impl Fn(&mut [f32]) + Sync) {
+    if out.len() >= PAR_NUMEL {
+        out.par_chunks_mut(n).for_each(f);
+    } else {
+        out.chunks_mut(n).for_each(f);
+    }
+}
+
+/// [`for_each_row`] with the row index.
+pub(crate) fn for_each_row_indexed(
+    out: &mut [f32],
+    n: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    for_each_row_indexed_if(out.len() >= PAR_NUMEL, out, n, f);
+}
+
+/// [`for_each_row_indexed`] with an explicit parallelism gate, for kernels
+/// whose per-row work is much larger than the swept buffer (e.g. a sweep
+/// writing `[N, C]` that reads `[N, C, D]`).
+pub(crate) fn for_each_row_indexed_if(
+    par: bool,
+    out: &mut [f32],
+    n: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if par {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| f(i, row));
+    } else {
+        out.chunks_mut(n).enumerate().for_each(|(i, row)| f(i, row));
+    }
+}
+
+/// Lock-step rowwise sweep over two buffers (row `i` of `a` with row `i`
+/// of `b`), parallel when the first buffer is large.
+pub(crate) fn for_each_row_zip(
+    a: &mut [f32],
+    na: usize,
+    b: &mut [f32],
+    nb: usize,
+    f: impl Fn(usize, &mut [f32], &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(a.len().div_ceil(na), b.len().div_ceil(nb));
+    if a.len() >= PAR_NUMEL {
+        a.par_chunks_mut(na)
+            .zip(b.par_chunks_mut(nb))
+            .enumerate()
+            .for_each(|(i, (ar, br))| f(i, ar, br));
+    } else {
+        a.chunks_mut(na)
+            .zip(b.chunks_mut(nb))
+            .enumerate()
+            .for_each(|(i, (ar, br))| f(i, ar, br));
+    }
+}
+
+/// Elementwise in-place map, parallel when large.
+pub(crate) fn map_in_place(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    if data.len() >= PAR_NUMEL {
+        let chunk = data
+            .len()
+            .div_ceil(rayon::current_num_threads() * 4)
+            .max(1024);
+        data.par_chunks_mut(chunk).for_each(|c| {
+            for x in c.iter_mut() {
+                *x = f(*x);
+            }
+        });
+    } else {
+        for x in data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowwise_dispatch_covers_both_paths() {
+        // small (serial) and large (parallel) must produce identical rows
+        for rows in [4usize, 2048] {
+            let n = 64;
+            let mut out = vec![0.0f32; rows * n];
+            for_each_row_indexed(&mut out, n, |i, row| {
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = (i * n + j) as f32;
+                }
+            });
+            for (i, x) in out.iter().enumerate() {
+                assert_eq!(*x, i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn map_in_place_matches_serial() {
+        let mut big: Vec<f32> = (0..PAR_NUMEL + 5).map(|i| i as f32).collect();
+        map_in_place(&mut big, |x| 2.0 * x + 1.0);
+        for (i, x) in big.iter().enumerate() {
+            assert_eq!(*x, 2.0 * i as f32 + 1.0);
+        }
+    }
+}

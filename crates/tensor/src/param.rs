@@ -64,6 +64,23 @@ impl ParamStore {
         self.slots[id.0].value = value;
     }
 
+    /// Replace a parameter through a closure that receives the *owned*
+    /// current value. When nothing else holds the tensor (e.g. the tape of
+    /// the step has been dropped), `Tensor::into_data` inside the closure
+    /// mutates the buffer in place — the optimizer fast path.
+    pub fn update(&mut self, id: ParamId, f: impl FnOnce(Tensor) -> Tensor) {
+        let slot = &mut self.slots[id.0];
+        let dims = slot.value.dims().to_vec();
+        let old = std::mem::replace(&mut slot.value, Tensor::scalar(0.0));
+        slot.value = f(old);
+        assert_eq!(
+            slot.value.dims(),
+            &dims[..],
+            "param {} shape change",
+            slot.name
+        );
+    }
+
     pub fn name(&self, id: ParamId) -> &str {
         &self.slots[id.0].name
     }

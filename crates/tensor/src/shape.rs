@@ -56,11 +56,9 @@ impl Shape {
     /// tensor is viewed as a 2-D matrix `[rows, last]`.
     #[inline]
     pub fn rows(&self) -> usize {
-        if self.0.is_empty() {
-            1
-        } else {
-            self.numel() / self.0[self.0.len() - 1]
-        }
+        // Product of the leading axes directly (not numel / last), so
+        // zero-width tensors like [m, 0] still report their row count.
+        self.0[..self.0.len().saturating_sub(1)].iter().product()
     }
 
     /// Last-axis length (1 for scalars).

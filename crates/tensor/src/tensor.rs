@@ -165,10 +165,33 @@ impl Tensor {
         self.buf.data.clone()
     }
 
+    /// Take the underlying buffer for in-place mutation.
+    ///
+    /// When this tensor is the buffer's sole owner the Vec is moved out
+    /// without copying — the escape hatch the fused in-place kernels
+    /// (optimizer updates, gradient clipping) use to avoid allocating a
+    /// fresh buffer per op. Shared buffers fall back to a copy, so this is
+    /// always safe to call.
+    pub fn into_data(self) -> Vec<f32> {
+        match Arc::try_unwrap(self.buf) {
+            Ok(mut buf) => {
+                // The memory charge is released here; re-wrapping the Vec
+                // via `from_vec` charges it again, keeping accounting exact.
+                if let Some(t) = &buf.tracker {
+                    t.sub(buf.data.len() * std::mem::size_of::<f32>());
+                    buf.tracker = None;
+                }
+                std::mem::take(&mut buf.data)
+            }
+            Err(shared) => shared.data.clone(),
+        }
+    }
+
     // ----- simple numeric helpers (non-autograd) ----------------------------
 
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        let data = self.buf.data.iter().map(|&x| f(x)).collect();
+        let mut data: Vec<f32> = self.buf.data.clone();
+        crate::par::map_in_place(&mut data, f);
         Tensor::from_vec(data, self.shape.clone())
     }
 

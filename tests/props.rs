@@ -118,6 +118,40 @@ proptest! {
         let pole = lat.at(0);
         prop_assert!(equator >= pole);
     }
+
+    /// The three GEMM layouts agree for arbitrary shapes: computing
+    /// `A·B` via NN must match NT with `Bᵀ` materialized and TN with `Aᵀ`
+    /// materialized, including k = 0 (zero-filled output), vector shapes
+    /// (m = 1 / n = 1), and dims straddling the blocked kernel's tiles.
+    #[test]
+    fn gemm_layouts_cross_consistent(m in 1usize..40, k in 0usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let via_nn = ops::matmul(&a, &b);
+
+        // materialize Bᵀ [n,k] and Aᵀ [k,m]
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b.at(p * n + j);
+            }
+        }
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a.at(i * k + p);
+            }
+        }
+        let via_nt = ops::matmul_nt(&a, &Tensor::from_vec(bt, [n, k]));
+        let via_tn = ops::matmul_tn(&Tensor::from_vec(at, [k, m]), &b);
+
+        prop_assert!(via_nn.max_abs_diff(&via_nt) < 1e-4, "NN vs NT");
+        prop_assert!(via_nn.max_abs_diff(&via_tn) < 1e-4, "NN vs TN");
+        if k == 0 {
+            prop_assert!(via_nn.data().iter().all(|&x| x == 0.0), "k=0 must zero-fill");
+        }
+    }
 }
 
 #[test]
