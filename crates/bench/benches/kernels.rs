@@ -84,6 +84,20 @@ mod seed {
             c.chunks_mut(n).enumerate().for_each(body);
         }
     }
+
+    /// The seed's serial bias + libm-tanh GELU sweep: the "before" side of
+    /// the vectorized-GELU entry (the libm `tanh` call blocks
+    /// auto-vectorization, which is what the polynomial rewrite removes).
+    pub fn add_bias_gelu(a: &[f32], bias: &[f32], out: &mut [f32]) {
+        let n = bias.len();
+        for (o_row, a_row) in out.chunks_mut(n).zip(a.chunks(n)) {
+            for ((o, &av), &bv) in o_row.iter_mut().zip(a_row).zip(bias) {
+                let x = av + bv;
+                let u = 0.797_884_6 * (x + 0.044_715 * x * x * x);
+                *o = 0.5 * x * (1.0 + u.tanh());
+            }
+        }
+    }
 }
 
 /// Seed-vs-blocked comparison across layouts and sizes: the acceptance
@@ -318,7 +332,14 @@ fn emit_kernels_json(_c: &mut Criterion) {
 
     let h = Tensor::randn([512, 512], 1.0, &mut rng);
     let bias = Tensor::randn([512], 1.0, &mut rng);
-    let before = measure_ns(|| { black_box(ops::gelu(&ops::add_bias(&h, &bias))); }, quick);
+    let before = measure_ns(
+        || {
+            let mut out = vec![0.0f32; h.numel()];
+            seed::add_bias_gelu(h.data(), bias.data(), &mut out);
+            black_box(&out);
+        },
+        quick,
+    );
     let after = measure_ns(|| { black_box(ops::add_bias_gelu(&h, &bias)); }, quick);
     entries.push(("add_bias_gelu_512x512".into(), before, after));
 
@@ -343,13 +364,40 @@ fn emit_kernels_json(_c: &mut Criterion) {
     let after = measure_ns(|| { black_box(ops::softmax_pool(&y, &pw)); }, quick);
     entries.push(("softmax_pool_1024x16x64".into(), before, after));
 
-    let mut json = String::from("{\n  \"description\": \"Seed scalar kernels (before) vs cache-blocked GEMM + fused transformer kernels (after); ns per call, median\",\n");
+    // Attention: naive composed chain (before) vs flash (after), wall time
+    // plus an analytic peak-resident-bytes estimate per variant.
+    let (bh, d) = (8usize, 64usize);
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut attn_entries: Vec<(String, f64, f64, usize, usize)> = Vec::new();
+    for &s in &[128usize, 256, 512] {
+        let q = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let k = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let v = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let before = measure_ns(|| { black_box(ops::naive_attention(&q, &k, &v, scale)); }, quick);
+        let after = measure_ns(|| { black_box(ops::flash_attention(&q, &k, &v, scale)); }, quick);
+        attn_entries.push((
+            format!("attention_fwd_S{s}_BH{bh}_d{d}"),
+            before,
+            after,
+            ops::naive_attention_peak_bytes(bh, s, s, d),
+            ops::flash_attention_peak_bytes(bh, s, s, d, rayon::current_num_threads()),
+        ));
+    }
+
+    let mut json = String::from("{\n  \"description\": \"Seed scalar kernels (before) vs cache-blocked GEMM + fused transformer kernels (after); ns per call, median. attention_* entries compare the naive bmm_nt_scaled->softmax->bmm chain against the tiled online-softmax flash kernel, with analytic peak-resident-bytes per variant.\",\n");
     json.push_str(&format!("  \"quick_mode\": {quick},\n  \"kernels\": {{\n"));
-    for (i, (name, before, after)) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
+    for (name, before, after) in entries.iter() {
         json.push_str(&format!(
-            "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2} }}{comma}\n",
+            "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2} }},\n",
             before / after
+        ));
+    }
+    for (i, (name, before, after, naive_b, flash_b)) in attn_entries.iter().enumerate() {
+        let comma = if i + 1 == attn_entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2}, \"naive_peak_bytes\": {naive_b}, \"flash_peak_bytes\": {flash_b}, \"peak_mem_ratio\": {:.1} }}{comma}\n",
+            before / after,
+            *naive_b as f64 / *flash_b as f64
         ));
     }
     json.push_str("  }\n}\n");
@@ -378,6 +426,60 @@ fn bench_attention_primitives(c: &mut Criterion) {
         let scores = ops::bmm_nt(&q, &k);
         g.bench_with_input(BenchmarkId::new("softmax", s), &s, |bench, _| {
             bench.iter(|| black_box(ops::softmax_last(&scores)))
+        });
+    }
+    // Naive composition (materialized [B·H,S,S] scores) vs the tiled
+    // online-softmax flash kernel, with an analytic peak-resident-bytes
+    // estimate per variant printed once per size.
+    let (bh, d) = (8usize, 64usize);
+    let scale = 1.0 / (d as f32).sqrt();
+    for &s in &[128usize, 256, 512] {
+        let mut rng = Rng::new(5);
+        let q = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let k = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let v = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        eprintln!(
+            "attention S={s}: naive peak ≈ {} KiB, flash peak ≈ {} KiB",
+            ops::naive_attention_peak_bytes(bh, s, s, d) / 1024,
+            ops::flash_attention_peak_bytes(bh, s, s, d, rayon::current_num_threads()) / 1024,
+        );
+        g.bench_with_input(BenchmarkId::new("naive_fwd", s), &s, |bench, _| {
+            bench.iter(|| black_box(ops::naive_attention(&q, &k, &v, scale)))
+        });
+        g.bench_with_input(BenchmarkId::new("flash_fwd", s), &s, |bench, _| {
+            bench.iter(|| black_box(ops::flash_attention(&q, &k, &v, scale)))
+        });
+    }
+    // Full fwd+bwd through the tape: three-node naive chain vs one fused
+    // node with tile recompute.
+    {
+        use dchag_tensor::Tape;
+        let s = 256usize;
+        let mut rng = Rng::new(6);
+        let q = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let k = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        let v = Tensor::randn([bh, s, d], 1.0, &mut rng);
+        g.bench_function("naive_fwd_bwd_256", |bench| {
+            bench.iter(|| {
+                let tape = Tape::new();
+                let (qv, kv, vv) =
+                    (tape.leaf(q.clone()), tape.leaf(k.clone()), tape.leaf(v.clone()));
+                let sc = tape.bmm_nt_scaled(&qv, &kv, scale);
+                let p = tape.softmax_last(&sc);
+                let y = tape.bmm(&p, &vv);
+                let loss = tape.sum_all(&y);
+                black_box(tape.backward(&loss))
+            })
+        });
+        g.bench_function("flash_fwd_bwd_256", |bench| {
+            bench.iter(|| {
+                let tape = Tape::new();
+                let (qv, kv, vv) =
+                    (tape.leaf(q.clone()), tape.leaf(k.clone()), tape.leaf(v.clone()));
+                let y = tape.flash_attention(&qv, &kv, &vv, scale);
+                let loss = tape.sum_all(&y);
+                black_box(tape.backward(&loss))
+            })
         });
     }
     g.finish();

@@ -95,11 +95,25 @@ impl MultiHeadAttention {
         let k = self.split_heads(bind, &self.wk.forward(bind, kv_in));
         let v = self.split_heads(bind, &self.wv.forward(bind, kv_in));
 
-        // Scores with the 1/√d factor fused into the GEMM packing — no
-        // materialized unscaled score tensor, no extra tape node.
-        let scaled = tape.bmm_nt_scaled(&q, &k, 1.0 / (self.head_dim as f32).sqrt());
-        let attn = tape.softmax_last(&scaled);
-        let ctx = tape.bmm(&attn, &v); // [B·H, Sq, dh]
+        // Flash attention: one tape node, tiled online softmax, O(S) memory
+        // — the `[B·H, Sq, Sk]` score matrix never materializes and the
+        // 1/√d factor rides in the tile GEMM packing.
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let ctx = tape.flash_attention(&q, &k, &v, scale); // [B·H, Sq, dh]
+
+        // Debug-only parity path: the naive composition (which *does*
+        // materialize the score matrix) must agree to 1e-4 on every shape
+        // the model ever runs.
+        #[cfg(debug_assertions)]
+        {
+            let want =
+                dchag_tensor::ops::naive_attention(q.value(), k.value(), v.value(), scale);
+            debug_assert!(
+                ctx.value().max_abs_diff(&want) <= 1e-4,
+                "flash attention diverged from naive composition by {}",
+                ctx.value().max_abs_diff(&want)
+            );
+        }
 
         let merged = self.merge_heads(bind, &ctx, b);
         self.wo.forward(bind, &merged)
@@ -179,6 +193,24 @@ mod tests {
             },
             3e-2,
         );
+    }
+
+    #[test]
+    fn long_nontile_sequence_exercises_flash_tiling() {
+        // 130 tokens spans three Q/K tiles with a ragged tail; the
+        // debug-assert parity path inside forward_kv checks the flash
+        // kernel against the naive composition on this shape.
+        let (store, m, mut rng) = mha(16, 4);
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &store);
+        let x = tape.leaf(Tensor::randn([1, 130, 16], 1.0, &mut rng));
+        let y = m.forward(&bind, &x);
+        assert_eq!(y.dims(), &[1, 130, 16]);
+        assert!(y.value().all_finite());
+        // Backward through the fused node must produce a finite input grad.
+        let loss = tape.sum_all(&tape.mul(&y, &y));
+        let grads = tape.backward(&loss);
+        assert!(grads.get(&x).unwrap().all_finite());
     }
 
     #[test]

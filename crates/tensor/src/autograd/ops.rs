@@ -141,6 +141,29 @@ impl Tape {
         )
     }
 
+    /// Fused flash attention: `softmax(scale · Q·Kᵀ) · V` as ONE tape node
+    /// over `q: [B,Sq,d]`, `k/v: [B,Sk,d]` (B is already batch·heads).
+    ///
+    /// The tiled online-softmax kernel never materializes the `[B,Sq,Sk]`
+    /// score matrix; only the `[B,Sq]` logsumexp is saved, and the adjoint
+    /// recomputes score tiles through the same tiling
+    /// (see [`crate::ops::attention`]). Replaces the three-node
+    /// `bmm_nt_scaled → softmax_last → bmm` chain and its two `S×S`
+    /// intermediates.
+    pub fn flash_attention(&self, q: &Var, k: &Var, v: &Var, scale: f32) -> Var {
+        let (iq, ik, iv) = (q.id, k.id, v.id);
+        let (vq, vk, vv) = (q.value().clone(), k.value().clone(), v.value().clone());
+        let (out, lse) = k::flash_attention(q.value(), k.value(), v.value(), scale);
+        let out_saved = out.clone();
+        self.custom(out, move |g, emit| {
+            let (dq, dk, dv) =
+                k::flash_attention_backward(&vq, &vk, &vv, scale, &out_saved, &lse, g);
+            emit(iq, dq);
+            emit(ik, dk);
+            emit(iv, dv);
+        })
+    }
+
     // ----- activations / normalization --------------------------------------
 
     pub fn gelu(&self, a: &Var) -> Var {
@@ -588,6 +611,64 @@ mod tests {
             },
             2e-2,
         );
+    }
+
+    #[test]
+    fn flash_attention_gradcheck() {
+        let mut rng = Rng::new(16);
+        let q = Tensor::randn([2, 3, 4], 0.5, &mut rng);
+        let key = Tensor::randn([2, 5, 4], 0.5, &mut rng);
+        let v = Tensor::randn([2, 5, 4], 0.5, &mut rng);
+        grad_check(
+            &[q, key, v],
+            |t, l| {
+                let y = t.flash_attention(&l[0], &l[1], &l[2], 0.5);
+                t.sum_all(&t.mul(&y, &y))
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn flash_attention_matches_composed_chain() {
+        // Forward value AND all three input gradients must match the
+        // bmm_nt_scaled → softmax_last → bmm composition, including a
+        // non-tile-multiple cross-attention shape.
+        let mut rng = Rng::new(17);
+        for &(sq, sk) in &[(4usize, 6usize), (70, 130)] {
+            let q = Tensor::randn([2, sq, 8], 0.6, &mut rng);
+            let key = Tensor::randn([2, sk, 8], 0.6, &mut rng);
+            let v = Tensor::randn([2, sk, 8], 0.6, &mut rng);
+            let run = |fused: bool| {
+                let tape = Tape::new();
+                let (qv, kv, vv) = (
+                    tape.leaf(q.clone()),
+                    tape.leaf(key.clone()),
+                    tape.leaf(v.clone()),
+                );
+                let y = if fused {
+                    tape.flash_attention(&qv, &kv, &vv, 0.35)
+                } else {
+                    let s = tape.bmm_nt_scaled(&qv, &kv, 0.35);
+                    let p = tape.softmax_last(&s);
+                    tape.bmm(&p, &vv)
+                };
+                let loss = tape.sum_all(&tape.mul(&y, &y));
+                let grads = tape.backward(&loss);
+                (
+                    y.value().clone(),
+                    grads.get(&qv).unwrap().clone(),
+                    grads.get(&kv).unwrap().clone(),
+                    grads.get(&vv).unwrap().clone(),
+                )
+            };
+            let (yf, dqf, dkf, dvf) = run(true);
+            let (yu, dqu, dku, dvu) = run(false);
+            assert!(yf.max_abs_diff(&yu) <= 1e-4, "fwd Sq={sq} Sk={sk}");
+            assert!(dqf.max_abs_diff(&dqu) <= 1e-4, "dq Sq={sq} Sk={sk}");
+            assert!(dkf.max_abs_diff(&dku) <= 1e-4, "dk Sq={sq} Sk={sk}");
+            assert!(dvf.max_abs_diff(&dvu) <= 1e-4, "dv Sq={sq} Sk={sk}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   tensors.
 
 use crate::ops::elementwise::gelu_scalar;
-use crate::ops::gemm::{gemm, GemmLayout};
+use crate::ops::gemm::{gemm, gemm_bias, GemmLayout};
 use crate::ops::reduce::softmax_last;
 use crate::par;
 use crate::shape::Shape;
@@ -32,22 +32,14 @@ fn linear_dims(a: &Tensor, w: &Tensor, bias: &Tensor) -> (usize, usize, usize) {
     (a.shape().rows(), k, n)
 }
 
-fn broadcast_bias(bias: &[f32], m: usize) -> Vec<f32> {
-    let n = bias.len();
-    let mut c = vec![0.0f32; m * n];
-    for row in c.chunks_mut(n) {
-        row.copy_from_slice(bias);
-    }
-    c
-}
-
 /// Fused `x·W + b`: the Linear layer forward in one GEMM, with the bias
-/// pre-broadcast into the output buffer the GEMM accumulates onto.
+/// added in the GEMM epilogue (during the micro-kernel store of the first
+/// depth block) — no broadcast pre-pass over the output buffer.
 /// Leading axes of `x` are preserved.
 pub fn matmul_bias(a: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
     let (m, k, n) = linear_dims(a, w, bias);
-    let mut c = broadcast_bias(bias.data(), m);
-    gemm(GemmLayout::NN, 1.0, a.data(), w.data(), &mut c, m, k, n);
+    let mut c = vec![0.0f32; m * n];
+    gemm_bias(GemmLayout::NN, 1.0, a.data(), w.data(), bias.data(), &mut c, m, k, n);
     let mut out_dims = a.dims().to_vec();
     *out_dims.last_mut().unwrap() = n;
     Tensor::from_vec(c, Shape::new(&out_dims))
@@ -58,8 +50,8 @@ pub fn matmul_bias(a: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
 /// Returns `(y, h)` with `h = x·W + b` saved for the backward pass.
 pub fn linear_gelu(a: &Tensor, w: &Tensor, bias: &Tensor) -> (Tensor, Tensor) {
     let (m, k, n) = linear_dims(a, w, bias);
-    let mut h = broadcast_bias(bias.data(), m);
-    gemm(GemmLayout::NN, 1.0, a.data(), w.data(), &mut h, m, k, n);
+    let mut h = vec![0.0f32; m * n];
+    gemm_bias(GemmLayout::NN, 1.0, a.data(), w.data(), bias.data(), &mut h, m, k, n);
     let mut y = vec![0.0f32; h.len()];
     par::for_each_row_zip(&mut y, n, &mut h, n, |_, y_row, h_row| {
         for (yv, &hv) in y_row.iter_mut().zip(h_row.iter()) {

@@ -67,8 +67,10 @@ const KC: usize = 256;
 const NC: usize = 256;
 
 /// Below this many multiply-adds (`m·n·k`) the whole product runs
-/// single-threaded: parallel dispatch costs more than it saves.
-const PAR_FLOPS: usize = 1 << 19;
+/// single-threaded: parallel dispatch costs more than it saves. Shared
+/// with the tiled attention kernels so the whole hot path parallelizes on
+/// one policy.
+use crate::par::PAR_FLOPS;
 
 /// Below this many multiply-adds the panel-packing machinery is skipped in
 /// favor of direct row-major loops (unit-test-sized operands).
@@ -83,6 +85,21 @@ pub enum GemmLayout {
     NT,
     /// `A[k,m]ᵀ · B[k,n]`
     TN,
+}
+
+/// What the micro-kernel store does with the first depth block's result.
+/// Later depth blocks always accumulate; each output element is stored
+/// exactly once per depth block, so the epilogue costs no extra pass.
+#[derive(Clone, Copy)]
+pub(crate) enum Epilogue<'a> {
+    /// `C += P` — the default accumulate contract.
+    Add,
+    /// `C += P + bias` with the `[n]` bias row added exactly once (the
+    /// fused Linear forward).
+    AddBias(&'a [f32]),
+    /// `C = P` — overwrite, so callers reusing a scratch buffer (the flash
+    /// attention score tiles) skip the `fill(0.0)` pre-pass.
+    Assign,
 }
 
 impl GemmLayout {
@@ -323,12 +340,17 @@ impl<'a> CTile<'a> {
 /// `a`/`b` are always the *full* operand buffers; the tile/depth windows
 /// select the sub-problem, which is what the split-K and 2-D-tile parallel
 /// drivers are built from.
+///
+/// The [`Epilogue`] rides in the micro-kernel store of the *first* depth
+/// block (each output element is stored exactly once per depth block), so
+/// bias adds and overwrites cost no extra pass over the output.
 #[allow(clippy::too_many_arguments)]
 fn gemm_tile_serial(
     layout: GemmLayout,
     alpha: f32,
     a: &[f32],
     b: &[f32],
+    epi: Epilogue<'_>,
     tile: &mut CTile<'_>,
     m: usize,
     k: usize,
@@ -351,6 +373,9 @@ fn gemm_tile_serial(
                 let mut pc = p0;
                 while pc < p1 {
                     let kc = KC.min(p1 - pc);
+                    // The epilogue applies exactly once, on the first depth
+                    // block; later blocks accumulate.
+                    let epi_now = if pc == p0 { epi } else { Epilogue::Add };
                     pack_b(layout, b, k, n, pc, kc, j0 + jc, nc, &mut pb);
                     let mut ic = 0;
                     while ic < mt {
@@ -366,9 +391,26 @@ fn gemm_tile_serial(
                                 for i in 0..mr {
                                     let crow =
                                         tile.row(ic + ir * MR + i, jc + jr * NR, nr);
-                                    for (j, cv) in crow.iter_mut().enumerate() {
-                                        let half = if j < NRH { &acc0 } else { &acc1 };
-                                        *cv += half[i][j % NRH];
+                                    match epi_now {
+                                        Epilogue::Add => {
+                                            for (j, cv) in crow.iter_mut().enumerate() {
+                                                let half = if j < NRH { &acc0 } else { &acc1 };
+                                                *cv += half[i][j % NRH];
+                                            }
+                                        }
+                                        Epilogue::AddBias(bias) => {
+                                            let col0 = j0 + jc + jr * NR;
+                                            for (j, cv) in crow.iter_mut().enumerate() {
+                                                let half = if j < NRH { &acc0 } else { &acc1 };
+                                                *cv += half[i][j % NRH] + bias[col0 + j];
+                                            }
+                                        }
+                                        Epilogue::Assign => {
+                                            for (j, cv) in crow.iter_mut().enumerate() {
+                                                let half = if j < NRH { &acc0 } else { &acc1 };
+                                                *cv = half[i][j % NRH];
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -433,16 +475,71 @@ fn gemm_small(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32
 /// variant and autograd adjoint routes through.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_dispatch(layout, alpha, a, b, Epilogue::Add, c, m, k, n);
+}
+
+/// `C[m,n] += α · op(A) · op(B) + bias` with the `[n]` bias row folded into
+/// the micro-kernel store (the Linear-layer forward), so the broadcast add
+/// never costs a second pass over the output. The bias is added exactly
+/// once per output element, on top of whatever `c` already holds.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(bias.len(), n, "bias len {} vs n {n}", bias.len());
+    if k == 0 {
+        // Degenerate product: the bias contract still holds.
+        for row in c.chunks_mut(n) {
+            for (cv, &bv) in row.iter_mut().zip(bias) {
+                *cv += bv;
+            }
+        }
+        return;
+    }
+    gemm_dispatch(layout, alpha, a, b, Epilogue::AddBias(bias), c, m, k, n);
+}
+
+/// Prepare `c` so the plain accumulate paths honor `epi`: small/ split-K
+/// code always does `C += …`, so `Assign` zeroes the (scratch) output
+/// first and `AddBias` folds the bias in as the initial value.
+fn epi_pre_pass(epi: Epilogue<'_>, c: &mut [f32], n: usize) {
+    match epi {
+        Epilogue::Add => {}
+        Epilogue::AddBias(bias) => {
+            for row in c.chunks_mut(n) {
+                for (cv, &bv) in row.iter_mut().zip(bias) {
+                    *cv += bv;
+                }
+            }
+        }
+        Epilogue::Assign => c.fill(0.0),
+    }
+}
+
+/// Shared driver behind [`gemm`] / [`gemm_bias`] / the attention tiles.
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch(
+    layout: GemmLayout,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    epi: Epilogue<'_>,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(c.len(), m * n);
     if m == 0 || n == 0 || k == 0 {
         return;
     }
     let flops = m * n * k;
     if flops < SMALL_FLOPS {
+        // Operands too small for the packed path; the epilogue pre-pass
+        // over a sub-32k-element output is noise.
+        epi_pre_pass(epi, c, n);
         return gemm_small(layout, alpha, a, b, c, m, k, n);
     }
     if flops < PAR_FLOPS || rayon::current_num_threads() == 1 {
-        return gemm_serial(layout, alpha, a, b, c, m, k, n);
+        return gemm_serial(layout, alpha, a, b, epi, c, m, k, n);
     }
 
     let row_blocks = m.div_ceil(MC);
@@ -450,19 +547,23 @@ pub fn gemm(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32],
     // Any tile-level parallelism beats none; split-K only wins when the
     // tile grid is a single tile but the depth is long.
     if row_blocks * col_blocks >= 2 {
-        gemm_parallel_2d(layout, alpha, a, b, c, m, k, n, row_blocks, col_blocks);
+        gemm_parallel_2d(layout, alpha, a, b, epi, c, m, k, n, row_blocks, col_blocks);
     } else if k >= 4 * KC {
+        // Skinny split-K outputs are tiny (the path only triggers when the
+        // C tile grid is a single tile), so the epilogue stays out of the
+        // per-task partials and costs one sweep of a small buffer.
+        epi_pre_pass(epi, c, n);
         gemm_parallel_split_k(layout, alpha, a, b, c, m, k, n);
     } else {
-        gemm_serial(layout, alpha, a, b, c, m, k, n);
+        gemm_serial(layout, alpha, a, b, epi, c, m, k, n);
     }
 }
 
 /// Serial blocked product over the whole output.
 #[allow(clippy::too_many_arguments)]
-fn gemm_serial(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+fn gemm_serial(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], epi: Epilogue<'_>, c: &mut [f32], m: usize, k: usize, n: usize) {
     let mut tile = CTile::new(c, n, 0, 0);
-    gemm_tile_serial(layout, alpha, a, b, &mut tile, m, k, n, (0, m), (0, n), (0, k));
+    gemm_tile_serial(layout, alpha, a, b, epi, &mut tile, m, k, n, (0, m), (0, n), (0, k));
 }
 
 /// 2-D tiling over (row-block × column-block) of C. Tiles write disjoint
@@ -473,6 +574,7 @@ fn gemm_parallel_2d(
     alpha: f32,
     a: &[f32],
     b: &[f32],
+    epi: Epilogue<'_>,
     c: &mut [f32],
     m: usize,
     k: usize,
@@ -495,7 +597,7 @@ fn gemm_parallel_2d(
         // col-range) windows, and the parallel call joins before `c`'s
         // borrow ends.
         let mut tile = proto.window(i0, j0);
-        gemm_tile_serial(layout, alpha, a, b, &mut tile, m, k, n, (i0, mt), (j0, nt), (0, k));
+        gemm_tile_serial(layout, alpha, a, b, epi, &mut tile, m, k, n, (i0, mt), (j0, nt), (0, k));
     });
 }
 
@@ -528,7 +630,7 @@ fn gemm_parallel_split_k(
             let p1 = ((t + 1) * per).min(k);
             let mut partial = vec![0.0f32; m * n];
             let mut tile = CTile::new(&mut partial, n, 0, 0);
-            gemm_tile_serial(layout, alpha, a, b, &mut tile, m, k, n, (0, m), (0, n), (p0, p1));
+            gemm_tile_serial(layout, alpha, a, b, Epilogue::Add, &mut tile, m, k, n, (0, m), (0, n), (p0, p1));
             partial
         })
         .collect();
@@ -625,6 +727,7 @@ fn bmm_driver(
                 alpha,
                 &a.data()[bi * a_sz..(bi + 1) * a_sz],
                 &b.data()[bi * b_sz..(bi + 1) * b_sz],
+                Epilogue::Add,
                 c_b,
                 m,
                 k,
@@ -648,13 +751,26 @@ fn bmm_driver(
     Tensor::from_vec(c, [bs, m, n])
 }
 
-/// Per-batch body for the batched parallel loop (no nested parallelism).
+/// Per-batch / per-tile body that never spawns nested parallelism: used by
+/// the batched parallel loop and by the flash-attention tile kernels, whose
+/// drivers already own the task-level fan-out. The epilogue lets the
+/// attention tiles reuse scratch score buffers without a `fill(0.0)`
+/// pre-pass (`Epilogue::Assign` overwrites in the micro-kernel store).
 #[allow(clippy::too_many_arguments)]
-fn gemm_serial_or_small(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_serial_or_small(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], epi: Epilogue<'_>, c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // The product is zero but the epilogue contract still holds —
+        // Assign must clear a reused scratch buffer, AddBias must add.
+        return epi_pre_pass(epi, c, n);
+    }
     if m * n * k < SMALL_FLOPS {
+        epi_pre_pass(epi, c, n);
         gemm_small(layout, alpha, a, b, c, m, k, n);
     } else {
-        gemm_serial(layout, alpha, a, b, c, m, k, n);
+        gemm_serial(layout, alpha, a, b, epi, c, m, k, n);
     }
 }
 
@@ -952,6 +1068,42 @@ mod tests {
     #[test]
     fn parallel_2d_path_matches_reference() {
         check_layout(GemmLayout::NN, 2 * MC + 9, 2 * KC + 1, 2 * NC + 11, 71);
+    }
+
+    fn check_bias_epilogue(m: usize, k: usize, n: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        let mut bias = vec![0.0f32; n];
+        rng.fill_normal(&mut a, 1.0);
+        rng.fill_normal(&mut b, 1.0);
+        rng.fill_normal(&mut bias, 1.0);
+        let mut fused = vec![0.0f32; m * n];
+        gemm_bias(GemmLayout::NN, 1.0, &a, &b, &bias, &mut fused, m, k, n);
+        let mut want = vec![0.0f32; m * n];
+        gemm(GemmLayout::NN, 1.0, &a, &b, &mut want, m, k, n);
+        for (row, w) in want.chunks_mut(n).zip(fused.chunks(n)) {
+            for ((x, &bv), &f) in row.iter_mut().zip(&bias).zip(w) {
+                *x += bv;
+                assert!((*x - f).abs() < 1e-3, "{m}x{k}x{n}: {x} vs {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_epilogue_matches_separate_add_across_paths() {
+        check_bias_epilogue(5, 6, 7, 91); // small direct loops
+        check_bias_epilogue(67, 40, 50, 92); // serial blocked
+        check_bias_epilogue(MC + 3, KC + 5, NC + 7, 93); // spans panel blocks
+        check_bias_epilogue(2, 4 * KC + 37, 6, 94); // split-K shape
+    }
+
+    #[test]
+    fn bias_epilogue_with_zero_depth_is_bias_broadcast() {
+        let bias = [1.0f32, -2.0, 3.0];
+        let mut c = vec![0.5f32; 2 * 3];
+        gemm_bias(GemmLayout::NN, 1.0, &[], &[], &bias, &mut c, 2, 0, 3);
+        assert_eq!(c, vec![1.5, -1.5, 3.5, 1.5, -1.5, 3.5]);
     }
 
     #[test]

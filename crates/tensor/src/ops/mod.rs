@@ -3,6 +3,7 @@
 //! Everything here is a pure function `&Tensor -> Tensor`; the autograd layer
 //! in [`crate::autograd`] wraps these with backward rules.
 
+pub mod attention;
 pub mod elementwise;
 pub mod fused;
 pub mod gemm;
@@ -10,14 +11,18 @@ pub mod norm;
 pub mod reduce;
 pub mod shape_ops;
 
+pub use attention::{
+    flash_attention, flash_attention_backward, flash_attention_peak_bytes, naive_attention,
+    naive_attention_peak_bytes, FLASH_BC, FLASH_BR,
+};
 pub use elementwise::{
     add, add_bias, add_bias_gelu, add_bias_gelu_backward, add_scaled, add_scaled_into, gelu,
-    gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square, sub,
+    gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square, sub, tanh_fast,
 };
 pub use fused::{linear_gelu, matmul_bias, softmax_pool, softmax_pool_backward};
 pub use gemm::{
-    bmm, bmm_nt, bmm_nt_scaled, bmm_scaled, bmm_tn, bmm_tn_scaled, gemm, matmul, matmul_nt,
-    matmul_tn, GemmLayout,
+    bmm, bmm_nt, bmm_nt_scaled, bmm_scaled, bmm_tn, bmm_tn_scaled, gemm, gemm_bias, matmul,
+    matmul_nt, matmul_tn, GemmLayout,
 };
 pub use norm::{layernorm, layernorm_backward, LayerNormCtx, LN_EPS};
 pub use reduce::{

@@ -10,6 +10,26 @@ use rayon::prelude::*;
 /// dispatch overhead beats the work saved.
 pub(crate) const PAR_NUMEL: usize = 64 * 1024;
 
+/// Multiply-adds below which FLOPs-gated kernels stay single-threaded.
+/// This is THE dispatch gate for both the GEMM layer and the tiled
+/// attention kernels (both import it from here), so the whole hot path
+/// parallelizes on one policy.
+pub(crate) const PAR_FLOPS: usize = 1 << 19;
+
+/// Run `tasks` independent index-addressed closures, fanning out over the
+/// pool when `par` says the total work is worth the dispatch. Used by the
+/// tiled attention kernels, whose task grid is (batch × tile) rather than
+/// output rows.
+pub(crate) fn for_each_task_if(par: bool, tasks: usize, f: impl Fn(usize) + Sync) {
+    if par && tasks > 1 && rayon::current_num_threads() > 1 {
+        (0..tasks).into_par_iter().for_each(f);
+    } else {
+        for t in 0..tasks {
+            f(t);
+        }
+    }
+}
+
 /// Apply `f` to every `n`-sized row of `out`, in parallel when large.
 pub(crate) fn for_each_row(out: &mut [f32], n: usize, f: impl Fn(&mut [f32]) + Sync) {
     if out.len() >= PAR_NUMEL {
