@@ -1,11 +1,30 @@
-//! Cost of the simulated collectives: rendezvous overhead per op across
-//! world sizes and payload sizes.
+//! Collectives benchmarks: rendezvous overhead per op, plus the
+//! blocking-vs-pipelined comparison that *measures* the comm/compute
+//! overlap the nonblocking chunked engine buys.
+//!
+//! Overlap scenarios use rank-heterogeneous compute (odd ranks do twice the
+//! work — the ragged shapes of hierarchical aggregation trees), because
+//! that is where a blocking rendezvous hurts: every round stalls at the
+//! slowest rank, then pays the reduction on top. The pipelined variant
+//! issues first, computes, then waits — so fast ranks drain the chunk
+//! pipeline inside the window where they would otherwise idle.
+//!
+//! The `emit_collectives_json` target refreshes the `collectives` section
+//! of `BENCH_kernels.json` (section-wise splice; the `kernels` bench owns
+//! the other sections) with blocking/pipelined wall clocks, the measured
+//! overlap fraction, wire bytes, and the DP/FSDP bitwise-parity verdicts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use dchag_collectives::run_ranks;
-use dchag_tensor::Tensor;
+use dchag_bench::bench_json::update_sections;
+use dchag_collectives::{run_ranks, RankCtx};
+use dchag_model::AdamW;
+use dchag_parallel::dp::{DataParallel, DdpBinder};
+use dchag_parallel::fsdp::{FsdpBinder, FsdpParams};
+use dchag_perf::comm::overlap_fraction;
+use dchag_tensor::prelude::*;
+use dchag_tensor::{ops, Tensor};
 
 fn bench_allreduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("allreduce");
@@ -61,9 +80,343 @@ fn bench_split(c: &mut Criterion) {
     });
 }
 
+// ----- overlap scenarios -----------------------------------------------------
+
+/// Payload for the overlap microbenches: 1 MiB of f32 = 16 pipeline chunks.
+const OVERLAP_ELEMS: usize = 256 * 1024;
+/// Rounds per world launch (amortizes thread spawn).
+const OVERLAP_ROUNDS: usize = 6;
+
+/// Rank-heterogeneous busywork: odd ranks run 2× the GEMMs (below the
+/// parallel-dispatch gate, so each stays on its rank's thread).
+fn ragged_compute(rank: usize, a: &Tensor, b: &Tensor) -> f32 {
+    let reps = 4 * (1 + rank % 2);
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        acc += ops::matmul(a, b).at(0);
+    }
+    acc
+}
+
+fn compute_inputs() -> (Tensor, Tensor) {
+    let mut rng = Rng::new(42);
+    (
+        Tensor::randn([64, 64], 1.0, &mut rng),
+        Tensor::randn([64, 64], 1.0, &mut rng),
+    )
+}
+
+/// One world launch of the all-reduce overlap scenario. `pipelined` selects
+/// issue→compute→wait vs compute→blocking-collective; `comm`/`compute`
+/// toggle the two legs so the same function also measures each in
+/// isolation.
+fn allreduce_rounds(world: usize, pipelined: bool, comm: bool, compute: bool) -> f64 {
+    let t0 = std::time::Instant::now();
+    let run = run_ranks(world, |ctx| {
+        let (a, b) = compute_inputs();
+        let t = Tensor::full([OVERLAP_ELEMS], (ctx.comm.rank() + 1) as f32);
+        let mut sink = 0.0f32;
+        for _ in 0..OVERLAP_ROUNDS {
+            match (comm, compute, pipelined) {
+                (true, true, true) => {
+                    let req = ctx.comm.iall_reduce_sum(&t);
+                    sink += ragged_compute(ctx.comm.rank(), &a, &b);
+                    sink += req.wait().at(0);
+                }
+                (true, true, false) => {
+                    sink += ragged_compute(ctx.comm.rank(), &a, &b);
+                    sink += ctx.comm.all_reduce_sum(&t).at(0);
+                }
+                (true, false, _) => sink += ctx.comm.all_reduce_sum(&t).at(0),
+                (false, true, _) => sink += ragged_compute(ctx.comm.rank(), &a, &b),
+                (false, false, _) => {}
+            }
+        }
+        black_box(sink)
+    });
+    black_box(run.outputs);
+    t0.elapsed().as_secs_f64() * 1e9
+}
+
+/// Same shape for reduce-scatter; `compute = false` measures the comm leg
+/// alone (the overlap-fraction denominator).
+fn reduce_scatter_rounds(world: usize, pipelined: bool, compute: bool) -> f64 {
+    let t0 = std::time::Instant::now();
+    let run = run_ranks(world, |ctx| {
+        let (a, b) = compute_inputs();
+        let n = OVERLAP_ELEMS / world * world;
+        let t = Tensor::full([n], (ctx.comm.rank() + 1) as f32);
+        let mut sink = 0.0f32;
+        for _ in 0..OVERLAP_ROUNDS {
+            if pipelined && compute {
+                let req = ctx.comm.ireduce_scatter_sum(&t);
+                sink += ragged_compute(ctx.comm.rank(), &a, &b);
+                sink += req.wait().at(0);
+            } else {
+                if compute {
+                    sink += ragged_compute(ctx.comm.rank(), &a, &b);
+                }
+                sink += ctx.comm.reduce_scatter_sum(&t).at(0);
+            }
+        }
+        black_box(sink)
+    });
+    black_box(run.outputs);
+    t0.elapsed().as_secs_f64() * 1e9
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_overlap");
+    for &world in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("allreduce_blocking", world), &world, |b, &w| {
+            b.iter(|| black_box(allreduce_rounds(w, false, true, true)))
+        });
+        g.bench_with_input(BenchmarkId::new("allreduce_pipelined", world), &world, |b, &w| {
+            b.iter(|| black_box(allreduce_rounds(w, true, true, true)))
+        });
+    }
+    g.bench_function("reduce_scatter_blocking_w4", |b| {
+        b.iter(|| black_box(reduce_scatter_rounds(4, false, true)))
+    });
+    g.bench_function("reduce_scatter_pipelined_w4", |b| {
+        b.iter(|| black_box(reduce_scatter_rounds(4, true, true)))
+    });
+    g.finish();
+}
+
+// ----- DP bucketed backward --------------------------------------------------
+
+const DP_DIM: usize = 96;
+const DP_LAYERS: usize = 8;
+const DP_BUCKET: usize = 16 * 1024;
+
+fn dp_model(store: &mut ParamStore) -> Vec<(ParamId, ParamId)> {
+    let mut rng = Rng::new(17);
+    (0..DP_LAYERS)
+        .map(|i| {
+            (
+                store.add(format!("w{i}"), Tensor::randn([DP_DIM, DP_DIM], 0.3, &mut rng)),
+                store.add(format!("b{i}"), Tensor::randn([DP_DIM], 0.3, &mut rng)),
+            )
+        })
+        .collect()
+}
+
+fn dp_forward(bind: &dyn Binder, tape: &Tape, layers: &[(ParamId, ParamId)], x: Tensor) -> Var {
+    let mut h = tape.leaf(x);
+    for &(w, b) in layers {
+        h = tape.add_bias_gelu(&tape.matmul(&h, &bind.bind(w)), &bind.bind(b));
+    }
+    tape.mean_all(&tape.mul(&h, &h))
+}
+
+/// Ragged per-rank microbatch: rank r trains on `8·(1+r)` rows — the
+/// heterogeneity that makes end-of-backward rendezvous expensive.
+fn dp_batch(rank: usize) -> Tensor {
+    let mut rng = Rng::new(900 + rank as u64);
+    Tensor::randn([8 * (1 + rank), DP_DIM], 1.0, &mut rng)
+}
+
+/// One DP training backward at `world` ranks; mode 0 = compute only (no
+/// sync), 1 = blocking bucketed sync after backward, 2 = DdpBinder
+/// (buckets issued during backward). Returns wall ns.
+fn dp_backward_rounds(world: usize, mode: u8) -> f64 {
+    let t0 = std::time::Instant::now();
+    let run = run_ranks(world, |ctx| {
+        let mut store = ParamStore::new();
+        let layers = dp_model(&mut store);
+        let mut sink = 0.0f32;
+        for _ in 0..3 {
+            match mode {
+                2 => {
+                    let tape = Tape::new();
+                    let ddp = DdpBinder::with_bucket(&tape, &store, &ctx.comm, DP_BUCKET);
+                    let loss = dp_forward(&ddp, &tape, &layers, dp_batch(ctx.comm.rank()));
+                    let _ = tape.backward(&loss);
+                    let grads = ddp.finish();
+                    sink += grads[0].as_ref().unwrap().at(0);
+                }
+                m => {
+                    let tape = Tape::new();
+                    let bind = LocalBinder::new(&tape, &store);
+                    let loss = dp_forward(&bind, &tape, &layers, dp_batch(ctx.comm.rank()));
+                    let grads = tape.backward(&loss);
+                    let mut pg = bind.grads(&grads);
+                    if m == 1 {
+                        DataParallel::new(ctx.comm.clone()).sync_grads(&mut pg);
+                    }
+                    sink += pg[0].as_ref().unwrap().at(0);
+                }
+            }
+        }
+        black_box(sink)
+    });
+    black_box(run.outputs);
+    t0.elapsed().as_secs_f64() * 1e9
+}
+
+fn bench_dp_bucketed_backward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_bucketed_backward");
+    for &world in &[2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("blocking", world), &world, |b, &w| {
+            b.iter(|| black_box(dp_backward_rounds(w, 1)))
+        });
+        g.bench_with_input(BenchmarkId::new("overlapped", world), &world, |b, &w| {
+            b.iter(|| black_box(dp_backward_rounds(w, 2)))
+        });
+    }
+    g.finish();
+}
+
+// ----- parity checks + JSON emitter ------------------------------------------
+
+/// DP: overlapped DdpBinder grads must equal blocking sync bitwise.
+fn dp_parity(world: usize) -> bool {
+    let run = run_ranks(world, |ctx| {
+        let mut store = ParamStore::new();
+        let layers = dp_model(&mut store);
+        let x = dp_batch(ctx.comm.rank() % 2); // shapes must match across paths
+
+        let tape = Tape::new();
+        let bind = LocalBinder::new(&tape, &store);
+        let loss = dp_forward(&bind, &tape, &layers, x.clone());
+        let grads = tape.backward(&loss);
+        let mut blocking = bind.grads(&grads);
+        DataParallel::new(ctx.comm.clone()).sync_grads(&mut blocking);
+
+        let tape = Tape::new();
+        let ddp = DdpBinder::with_bucket(&tape, &store, &ctx.comm, DP_BUCKET);
+        let loss = dp_forward(&ddp, &tape, &layers, x);
+        let _ = tape.backward(&loss);
+        let overlapped = ddp.finish();
+
+        blocking
+            .iter()
+            .zip(&overlapped)
+            .all(|(a, b)| a.as_ref().map(Tensor::to_vec) == b.as_ref().map(Tensor::to_vec))
+    });
+    run.outputs.into_iter().all(|ok| ok)
+}
+
+/// FSDP: prefetched binder + async reduce-scatter must reproduce the
+/// on-demand path's post-step parameters bitwise.
+fn fsdp_parity(world: usize) -> bool {
+    let step = |ctx: &RankCtx, prefetch: bool| -> Vec<Vec<f32>> {
+        let mut store = ParamStore::new();
+        let layers = dp_model(&mut store);
+        let mut fsdp = FsdpParams::from_store(&store, &ctx.comm);
+        let tape = Tape::new();
+        let bind = if prefetch {
+            FsdpBinder::with_prefetch(&tape, &fsdp)
+        } else {
+            FsdpBinder::new(&tape, &fsdp)
+        };
+        let loss = dp_forward(&bind, &tape, &layers, dp_batch(ctx.comm.rank()));
+        let _ = tape.backward(&loss);
+        let g = bind.sharded_grads();
+        let mut opt = AdamW::new(0.01);
+        opt.step(&mut fsdp.shard_store, &g);
+        (0..fsdp.len()).map(|i| fsdp.gather_full(i).to_vec()).collect()
+    };
+    let run = run_ranks(world, move |ctx| step(&ctx, false) == step(&ctx, true));
+    run.outputs.into_iter().all(|ok| ok)
+}
+
+/// Median of a few world launches (each already multi-round).
+fn median_run(mut f: impl FnMut() -> f64, quick: bool) -> f64 {
+    if quick {
+        return f();
+    }
+    let mut ns: Vec<f64> = (0..5).map(|_| f()).collect();
+    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ns[ns.len() / 2]
+}
+
+/// Wire bytes one pipelined all-reduce scenario moves (from the traffic
+/// log's chunk accounting).
+fn measured_wire_bytes(world: usize) -> usize {
+    let run = run_ranks(world, |ctx| {
+        let t = Tensor::full([OVERLAP_ELEMS], 1.0);
+        let _ = ctx.comm.iall_reduce_sum(&t).wait();
+        ctx.comm.barrier();
+        ctx.comm.traffic().bytes_on_wire()
+    });
+    run.outputs[0]
+}
+
+/// Refresh the `collectives` section of `BENCH_kernels.json`: blocking vs
+/// pipelined wall clocks, measured overlap fraction, wire bytes, and the
+/// bitwise-parity verdicts the acceptance criteria call for.
+fn emit_collectives_json(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let mut lines: Vec<String> = Vec::new();
+
+    for &world in &[1usize, 2, 4, 8] {
+        let comm_only = median_run(|| allreduce_rounds(world, false, true, false), quick);
+        let compute_only = median_run(|| allreduce_rounds(world, false, false, true), quick);
+        let blocking = median_run(|| allreduce_rounds(world, false, true, true), quick);
+        let pipelined = median_run(|| allreduce_rounds(world, true, true, true), quick);
+        let frac = overlap_fraction(blocking, pipelined, comm_only);
+        lines.push(format!(
+            "\"allreduce_1MiB_w{world}\": {{ \"blocking_ns\": {blocking:.0}, \"pipelined_ns\": {pipelined:.0}, \
+             \"comm_ns\": {comm_only:.0}, \"compute_ns\": {compute_only:.0}, \
+             \"overlap_fraction\": {frac:.2}, \"chunks\": {} }}",
+            OVERLAP_ELEMS.div_ceil(dchag_collectives::COMM_CHUNK_ELEMS)
+        ));
+    }
+
+    {
+        let blocking = median_run(|| reduce_scatter_rounds(4, false, true), quick);
+        let pipelined = median_run(|| reduce_scatter_rounds(4, true, true), quick);
+        let comm_only = median_run(|| reduce_scatter_rounds(4, false, false), quick);
+        let frac = overlap_fraction(blocking, pipelined, comm_only);
+        lines.push(format!(
+            "\"reduce_scatter_1MiB_w4\": {{ \"blocking_ns\": {blocking:.0}, \"pipelined_ns\": {pipelined:.0}, \
+             \"overlap_fraction\": {frac:.2} }}"
+        ));
+    }
+
+    for &world in &[2usize, 4] {
+        let compute_only = median_run(|| dp_backward_rounds(world, 0), quick);
+        let blocking = median_run(|| dp_backward_rounds(world, 1), quick);
+        let overlapped = median_run(|| dp_backward_rounds(world, 2), quick);
+        let comm = (blocking - compute_only).max(1.0);
+        let frac = overlap_fraction(blocking, overlapped, comm);
+        let dp_ok = dp_parity(world);
+        let fsdp_ok = fsdp_parity(world);
+        lines.push(format!(
+            "\"dp_bucketed_backward_w{world}\": {{ \"blocking_ns\": {blocking:.0}, \"overlapped_ns\": {overlapped:.0}, \
+             \"compute_ns\": {compute_only:.0}, \"overlap_fraction\": {frac:.2}, \
+             \"dp_parity_bitwise\": {dp_ok}, \"fsdp_parity_bitwise\": {fsdp_ok} }}"
+        ));
+    }
+
+    lines.push(format!(
+        "\"allreduce_1MiB_w4_bytes_on_wire\": {{ \"bytes_on_wire\": {} }}",
+        measured_wire_bytes(4)
+    ));
+
+    let mut body = String::from("{\n");
+    for (i, l) in lines.iter().enumerate() {
+        let comma = if i + 1 == lines.len() { "" } else { "," };
+        body.push_str(&format!("    {l}{comma}\n"));
+    }
+    body.push_str("  }");
+
+    // Smoke runs park their (noise) numbers under target/.
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_collectives.smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
+    };
+    update_sections(std::path::Path::new(path), &[("collectives", body)]);
+    eprintln!("wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_allreduce, bench_allgather_payload, bench_split
+    targets = bench_allreduce, bench_allgather_payload, bench_split, bench_overlap,
+              bench_dp_bucketed_backward, emit_collectives_json
 }
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use dchag_bench::bench_json::{measure_ns, update_sections};
 use dchag_tensor::{ops, Rng, Tensor};
 
 /// The seed repository's scalar GEMM kernels (rows-parallel AXPY/dot loops),
@@ -95,6 +96,25 @@ mod seed {
                 let x = av + bv;
                 let u = 0.797_884_6 * (x + 0.044_715 * x * x * x);
                 *o = 0.5 * x * (1.0 + u.tanh());
+            }
+        }
+    }
+
+    /// The pre-`exp_fast` softmax rows: libm `expf` per element — the
+    /// "before" side of the vectorized-exp entry (same structure as
+    /// `ops::softmax_last`, only the exponential differs).
+    pub fn softmax_last(a: &[f32], n: usize, out: &mut [f32]) {
+        out.copy_from_slice(a);
+        for row in out.chunks_mut(n) {
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            let inv = 1.0 / sum;
+            for x in row.iter_mut() {
+                *x *= inv;
             }
         }
     }
@@ -232,6 +252,19 @@ fn bench_fusion(c: &mut Criterion) {
         bench.iter(|| black_box(ops::matmul_bias(&xm, &w, &wb)))
     });
 
+    // Softmax exponential sweep: libm expf (seed) vs polynomial exp_fast.
+    let sm = Tensor::randn([256, 128], 3.0, &mut rng);
+    g.bench_function("softmax_libm_exp_256x128", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; sm.numel()];
+            seed::softmax_last(sm.data(), 128, &mut out);
+            black_box(out)
+        })
+    });
+    g.bench_function("softmax_exp_fast_256x128", |bench| {
+        bench.iter(|| black_box(ops::softmax_last(&sm)))
+    });
+
     // Aggregator pooling: matmul → softmax → bmm chain vs fused sweep.
     let (n, ch, d) = (1024, 16, 64);
     let y = Tensor::randn([n, ch, d], 1.0, &mut rng);
@@ -249,38 +282,12 @@ fn bench_fusion(c: &mut Criterion) {
     g.finish();
 }
 
-/// Measure one closure with `std::time::Instant`: median ns/iter over
-/// `samples` batches sized to ~20 ms each. Used by the JSON emitter so the
-/// recorded numbers are independent of the criterion facade.
-fn measure_ns(mut f: impl FnMut(), quick: bool) -> f64 {
-    use std::time::Instant;
-    f(); // warm up
-    let t0 = Instant::now();
-    f();
-    let once = t0.elapsed().as_nanos().max(1) as f64;
-    if quick {
-        return once;
-    }
-    let iters = (20e6 / once).clamp(1.0, 1e6) as u64;
-    let samples = 7;
-    let mut ns: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            t.elapsed().as_nanos() as f64 / iters as f64
-        })
-        .collect();
-    ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    ns[samples / 2]
-}
-
-/// Emit `BENCH_kernels.json` at the workspace root: before (seed kernels)
-/// vs after (blocked/fused kernels) wall times and the resulting speedups.
-/// Runs as a criterion target so `cargo bench --bench kernels` refreshes
-/// the file; in `--test` (smoke) mode it still writes, with single-shot
-/// timings.
+/// Emit the `kernels` section of `BENCH_kernels.json` at the workspace
+/// root: before (seed kernels) vs after (blocked/fused kernels) wall times
+/// and the resulting speedups. Section-wise splice, so the `collectives`
+/// bench's section survives. Runs as a criterion target so `cargo bench
+/// --bench kernels` refreshes the file; in `--test` (smoke) mode it still
+/// writes, with single-shot timings.
 fn emit_kernels_json(_c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--test");
     let mut rng = Rng::new(31);
@@ -350,6 +357,19 @@ fn emit_kernels_json(_c: &mut Criterion) {
     let after = measure_ns(|| { black_box(ops::matmul_bias(&xm, &w, &wb)); }, quick);
     entries.push(("matmul_bias_256".into(), before, after));
 
+    // Vectorized exp: the seed softmax's libm expf sweep vs exp_fast.
+    let sm = Tensor::randn([256, 128], 3.0, &mut rng);
+    let before = measure_ns(
+        || {
+            let mut out = vec![0.0f32; sm.numel()];
+            seed::softmax_last(sm.data(), 128, &mut out);
+            black_box(&out);
+        },
+        quick,
+    );
+    let after = measure_ns(|| { black_box(ops::softmax_last(&sm)); }, quick);
+    entries.push(("softmax_exp_256x128".into(), before, after));
+
     let (n, ch, d) = (1024usize, 16usize, 64usize);
     let y = Tensor::randn([n, ch, d], 1.0, &mut rng);
     let pw = Tensor::randn([d, 1], 1.0, &mut rng);
@@ -384,23 +404,22 @@ fn emit_kernels_json(_c: &mut Criterion) {
         ));
     }
 
-    let mut json = String::from("{\n  \"description\": \"Seed scalar kernels (before) vs cache-blocked GEMM + fused transformer kernels (after); ns per call, median. attention_* entries compare the naive bmm_nt_scaled->softmax->bmm chain against the tiled online-softmax flash kernel, with analytic peak-resident-bytes per variant.\",\n");
-    json.push_str(&format!("  \"quick_mode\": {quick},\n  \"kernels\": {{\n"));
+    let mut body = String::from("{\n");
     for (name, before, after) in entries.iter() {
-        json.push_str(&format!(
+        body.push_str(&format!(
             "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2} }},\n",
             before / after
         ));
     }
     for (i, (name, before, after, naive_b, flash_b)) in attn_entries.iter().enumerate() {
         let comma = if i + 1 == attn_entries.len() { "" } else { "," };
-        json.push_str(&format!(
+        body.push_str(&format!(
             "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2}, \"naive_peak_bytes\": {naive_b}, \"flash_peak_bytes\": {flash_b}, \"peak_mem_ratio\": {:.1} }}{comma}\n",
             before / after,
             *naive_b as f64 / *flash_b as f64
         ));
     }
-    json.push_str("  }\n}\n");
+    body.push_str("  }");
     // Smoke runs (`-- --test`, e.g. CI) produce single-shot timings whose
     // speedups are noise — keep them out of the committed file at the
     // workspace root and park them under target/ instead.
@@ -409,7 +428,20 @@ fn emit_kernels_json(_c: &mut Criterion) {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
     };
-    std::fs::write(path, &json).expect("write BENCH_kernels JSON");
+    let desc = "Seed scalar kernels (before) vs cache-blocked GEMM + fused transformer kernels \
+                (after); ns per call, median. attention_* entries compare the naive \
+                bmm_nt_scaled->softmax->bmm chain against the tiled online-softmax flash kernel, \
+                with analytic peak-resident-bytes per variant. The collectives section \
+                (maintained by `cargo bench --bench collectives`) compares blocking vs pipelined \
+                chunked collectives and reports the measured comm/compute overlap fraction.";
+    update_sections(
+        std::path::Path::new(path),
+        &[
+            ("description", format!("\"{desc}\"")),
+            ("quick_mode", format!("{quick}")),
+            ("kernels", body),
+        ],
+    );
     eprintln!("wrote {path}");
 }
 

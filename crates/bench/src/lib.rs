@@ -6,6 +6,7 @@
 //! simulated-rank substrate. Run `cargo run -p dchag-bench --bin reproduce
 //! -- all` (or a figure id) to print the tables.
 
+pub mod bench_json;
 pub mod figures;
 
 pub use figures::{registry, Figure};

@@ -5,8 +5,18 @@
 //! DP grids) are carved out with [`Communicator::split`], which follows
 //! `MPI_Comm_split` semantics.
 //!
-//! All reductions are performed in rank order on every member, so results
-//! are bit-identical across ranks and across runs.
+//! The tensor collectives come in two flavors:
+//!
+//! * **Nonblocking** (`iall_reduce_sum`, `ireduce_scatter_sum`,
+//!   `iall_gather_cat`) — issue a [`CommRequest`] immediately and let the
+//!   caller overlap compute with the chunked pipeline
+//!   ([`crate::nonblocking`]).
+//! * **Blocking** (`all_reduce_sum`, …) — thin `issue + wait` wrappers over
+//!   the same engine, kept for call sites with nothing to overlap.
+//!
+//! All reductions are performed in rank order within every chunk, so
+//! results are bit-identical across ranks, across runs, and across the
+//! blocking/nonblocking flavors.
 
 use std::sync::{Arc, Weak};
 
@@ -15,6 +25,7 @@ use parking_lot::Mutex;
 use dchag_tensor::ops;
 use dchag_tensor::Tensor;
 
+use crate::nonblocking::{self, CollKind, CommRequest};
 use crate::thread_comm::CommCore;
 use crate::topology::Topology;
 use crate::traffic::{CollOp, TrafficLog};
@@ -106,15 +117,57 @@ impl Communicator {
         self.world.topo.is_intra_node(&self.group_ranks)
     }
 
-    fn record(&self, op: CollOp, payload_bytes: usize) {
+    /// Nonblocking rounds still tracked by this group's engine (in flight
+    /// or not yet retired by every rank) — diagnostics and leak tests.
+    pub fn inflight_rounds(&self) -> usize {
+        self.core.engine().rounds_len()
+    }
+
+    fn record(&self, op: CollOp, payload_bytes: usize) -> Option<usize> {
         if self.rank == 0 {
-            self.world.log.record(op, payload_bytes, &self.group_ranks);
+            Some(self.world.log.record(op, payload_bytes, &self.group_ranks))
+        } else {
+            None
         }
     }
 
-    // ----- collectives ------------------------------------------------------
+    fn issue(&self, kind: CollKind, t: &Tensor) -> CommRequest {
+        let seq = self.record(kind.op(), t.size_bytes());
+        nonblocking::issue(&self.core, self.rank, kind, t, seq, self.world.log.clone())
+    }
+
+    // ----- nonblocking collectives ------------------------------------------
+
+    /// Issue an element-wise sum across the group; `wait` returns the full
+    /// reduced tensor (identical on every rank).
+    pub fn iall_reduce_sum(&self, t: &Tensor) -> CommRequest {
+        self.issue(CollKind::AllReduceSum, t)
+    }
+
+    /// Issue a reduce-scatter over axis 0: every rank contributes a
+    /// `[size·k, ...]` tensor; `wait` returns the rank-th `[k, ...]` chunk
+    /// of the element-wise sum.
+    pub fn ireduce_scatter_sum(&self, t: &Tensor) -> CommRequest {
+        assert!(
+            t.dims()[0].is_multiple_of(self.size()),
+            "reduce_scatter axis 0 ({}) not divisible by group size {}",
+            t.dims()[0],
+            self.size()
+        );
+        self.issue(CollKind::ReduceScatterSum, t)
+    }
+
+    /// Issue an all-gather whose `wait` concatenates contributions along
+    /// `axis` in rank order. Contributions must agree on all other axes
+    /// (ragged sizes along `axis` are allowed).
+    pub fn iall_gather_cat(&self, t: &Tensor, axis: usize) -> CommRequest {
+        self.issue(CollKind::AllGatherCat { axis }, t)
+    }
+
+    // ----- blocking collectives ---------------------------------------------
 
     /// Gather each rank's tensor; returns all contributions in rank order.
+    /// (Exchange path: payloads move by `Arc` clone, no chunk pipeline.)
     pub fn all_gather_vec(&self, t: &Tensor) -> Vec<Tensor> {
         self.record(CollOp::AllGather, t.size_bytes());
         let out = self.core.exchange(self.rank, Box::new(t.clone()));
@@ -123,23 +176,14 @@ impl Communicator {
             .collect()
     }
 
-    /// Gather and concatenate along `axis`. Contributions must agree on all
-    /// other axes (ragged sizes along `axis` are allowed).
+    /// Blocking [`Communicator::iall_gather_cat`].
     pub fn all_gather_cat(&self, t: &Tensor, axis: usize) -> Tensor {
-        let parts = self.all_gather_vec(t);
-        let refs: Vec<&Tensor> = parts.iter().collect();
-        ops::concat(&refs, axis)
+        self.iall_gather_cat(t, axis).wait()
     }
 
-    /// Element-wise sum across the group (identical on every rank).
+    /// Blocking [`Communicator::iall_reduce_sum`].
     pub fn all_reduce_sum(&self, t: &Tensor) -> Tensor {
-        self.record(CollOp::AllReduce, t.size_bytes());
-        let out = self.core.exchange(self.rank, Box::new(t.clone()));
-        let mut acc = out[0].downcast_ref::<Tensor>().unwrap().clone();
-        for p in out.iter().skip(1) {
-            acc = ops::add(&acc, p.downcast_ref::<Tensor>().unwrap());
-        }
-        acc
+        self.iall_reduce_sum(t).wait()
     }
 
     /// Element-wise mean across the group.
@@ -148,30 +192,9 @@ impl Communicator {
         ops::scale(&s, 1.0 / self.size() as f32)
     }
 
-    /// Reduce-scatter over axis 0: every rank contributes a `[size·k, ...]`
-    /// tensor and receives the rank-th `[k, ...]` chunk of the element-wise
-    /// sum.
+    /// Blocking [`Communicator::ireduce_scatter_sum`].
     pub fn reduce_scatter_sum(&self, t: &Tensor) -> Tensor {
-        self.record(CollOp::ReduceScatter, t.size_bytes());
-        let n = self.size();
-        assert!(
-            t.dims()[0].is_multiple_of(n),
-            "reduce_scatter axis 0 ({}) not divisible by group size {n}",
-            t.dims()[0]
-        );
-        let out = self.core.exchange(self.rank, Box::new(t.clone()));
-        let k = t.dims()[0] / n;
-        let mut acc = ops::slice(
-            out[0].downcast_ref::<Tensor>().unwrap(),
-            0,
-            self.rank * k,
-            k,
-        );
-        for p in out.iter().skip(1) {
-            let chunk = ops::slice(p.downcast_ref::<Tensor>().unwrap(), 0, self.rank * k, k);
-            acc = ops::add(&acc, &chunk);
-        }
-        acc
+        self.ireduce_scatter_sum(t).wait()
     }
 
     /// Broadcast from `root`: only the root's tensor is used; other ranks may

@@ -20,14 +20,16 @@
 
 pub mod group;
 pub mod launch;
+pub mod nonblocking;
 pub mod thread_comm;
 pub mod topology;
 pub mod traffic;
 
 pub use group::{Communicator, WorldShared};
 pub use launch::{run_ranks, run_topology, RankCtx, WorldRun};
+pub use nonblocking::{CommRequest, COMM_CHUNK_ELEMS};
 pub use topology::Topology;
-pub use traffic::{CollEvent, CollOp, TrafficLog};
+pub use traffic::{ChunkEvent, CollEvent, CollOp, TrafficLog};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,763 @@
+//! Nonblocking chunked collectives: the comm/compute-overlap engine.
+//!
+//! The blocking rendezvous in [`crate::thread_comm`] stalls every rank at
+//! each collective — the overlap gap the cross-cloud training literature
+//! attacks with chunked pipelining. This module replaces the rendezvous
+//! *data path* with an issue/wait protocol:
+//!
+//! * `issue` deposits this rank's contribution and returns a [`CommRequest`]
+//!   immediately — the caller keeps computing;
+//! * once the last rank has deposited, the collective's tensor is split into
+//!   a **shape-derived chunk schedule** ([`COMM_CHUNK_ELEMS`] elements per
+//!   chunk) and the chunks become claimable work items;
+//! * ranks inside [`CommRequest::wait`] / [`CommRequest::test`] claim chunks
+//!   with an atomic counter and reduce/copy them cooperatively, so the
+//!   reduction of a bucket proceeds while other ranks are still computing —
+//!   and is performed **once** across the group instead of redundantly per
+//!   rank as the rendezvous path did.
+//!
+//! Reductions walk contributions in rank order within every chunk, and the
+//! chunk schedule depends only on the tensor shape — never on thread count
+//! or timing — so results are bitwise identical to the blocking path at any
+//! parallelism. Every completed chunk stamps a
+//! [`crate::traffic::ChunkEvent`] (ready/done timestamps + ring-model wire
+//! bytes), which is how the overlap fraction is *measured* rather than
+//! assumed.
+//!
+//! Collectives are matched across ranks by a per-rank issue counter: the
+//! i-th nonblocking collective issued on a communicator must be the same
+//! logical collective on every rank (the SPMD invariant the blocking path
+//! already relied on); kind and shape are validated at deposit time.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Condvar, Mutex};
+
+use dchag_tensor::ops;
+use dchag_tensor::{Shape, Tensor};
+
+use crate::thread_comm::CommCore;
+use crate::traffic::{ChunkEvent, CollOp, TrafficLog};
+
+/// Elements per pipeline chunk (64 KiB of f32): small enough that a bucket
+/// splits into several overlappable stages, large enough that the per-chunk
+/// claim/stamp overhead is noise. Part of the shape-derived schedule — do
+/// not make this depend on thread count.
+pub const COMM_CHUNK_ELEMS: usize = 16 * 1024;
+
+/// Which collective a round performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollKind {
+    AllReduceSum,
+    ReduceScatterSum,
+    AllGatherCat { axis: usize },
+}
+
+impl CollKind {
+    pub(crate) fn op(self) -> CollOp {
+        match self {
+            CollKind::AllReduceSum => CollOp::AllReduce,
+            CollKind::ReduceScatterSum => CollOp::ReduceScatter,
+            CollKind::AllGatherCat { .. } => CollOp::AllGather,
+        }
+    }
+}
+
+/// One work item: copy/reduce `len` elements into the shared output buffer.
+struct Chunk {
+    /// Source rank for gather chunks; ignored (all ranks) for reductions.
+    src: usize,
+    src_off: usize,
+    dst_off: usize,
+    len: usize,
+}
+
+/// Shared output buffer written by exclusively-claimed chunk ranges.
+struct SharedBuf(UnsafeCell<Vec<f32>>);
+
+// SAFETY: chunks are claimed via an atomic fetch_add so every range has
+// exactly one writer; readers only look after the completion flag (an
+// acquire-load paired with the last writer's release-store).
+unsafe impl Sync for SharedBuf {}
+unsafe impl Send for SharedBuf {}
+
+impl SharedBuf {
+    fn new(len: usize) -> Self {
+        SharedBuf(UnsafeCell::new(vec![0.0f32; len]))
+    }
+
+    /// SAFETY: caller must hold the exclusive claim for `[off, off+len)`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slab(&self, off: usize, len: usize) -> &mut [f32] {
+        let v = &mut *self.0.get();
+        &mut v[off..off + len]
+    }
+
+    /// SAFETY: caller must have observed the round's completion flag.
+    unsafe fn read(&self) -> &[f32] {
+        &*self.0.get()
+    }
+}
+
+/// State frozen when the last rank deposits; read-only afterwards.
+struct Frozen {
+    contribs: Vec<Tensor>,
+    chunks: Vec<Chunk>,
+    buf: SharedBuf,
+    /// Flat start offset of each rank's region in the gather output.
+    gather_offsets: Vec<usize>,
+    /// Rank-identical results (all-reduce, all-gather) are materialized
+    /// once by the first finisher and `Arc`-cloned by the rest — the same
+    /// shared-memory transport the exchange path uses.
+    result: OnceLock<Tensor>,
+    ready_us: f64,
+}
+
+/// Mutable-under-the-engine-lock stamps.
+#[derive(Default)]
+struct Stamps {
+    issued_us: f64,
+    /// `seq` of the logical `CollEvent` (set by group-rank-0's deposit).
+    event_seq: Option<usize>,
+}
+
+/// One in-flight collective round, shared between the depositing ranks and
+/// the cooperative chunk workers.
+pub(crate) struct Round {
+    kind: CollKind,
+    group: usize,
+    seq: u64,
+    frozen: OnceLock<Frozen>,
+    next_chunk: AtomicUsize,
+    done_chunks: AtomicUsize,
+    complete: AtomicBool,
+    stamps: Mutex<Stamps>,
+}
+
+impl Round {
+    fn claimable(&self) -> bool {
+        match self.frozen.get() {
+            None => false,
+            Some(f) => {
+                !self.complete.load(Ordering::Acquire)
+                    && self.next_chunk.load(Ordering::Relaxed) < f.chunks.len()
+            }
+        }
+    }
+}
+
+struct RoundEntry {
+    arrived: usize,
+    retired: usize,
+    contribs: Vec<Option<Tensor>>,
+    shared: Arc<Round>,
+}
+
+#[derive(Default)]
+struct EngineState {
+    /// Per-rank issue counters: rank r's next collective gets seq
+    /// `next_seq[r]` — identical programs issue identical sequences.
+    next_seq: Vec<u64>,
+    rounds: HashMap<u64, RoundEntry>,
+}
+
+/// Per-process-group nonblocking engine, owned by a [`CommCore`].
+pub(crate) struct Engine {
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Engine {
+    pub(crate) fn new(size: usize) -> Self {
+        Engine {
+            state: Mutex::new(EngineState {
+                next_seq: vec![0; size],
+                rounds: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Wake all engine waiters so they fail fast instead of hanging.
+    pub(crate) fn poison(&self) {
+        let _g = self.state.lock();
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn assert_live(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::SeqCst),
+            "process group poisoned by a peer panic"
+        );
+    }
+
+    /// Rounds currently tracked (in flight or not yet retired by every
+    /// rank) — diagnostics and leak tests.
+    pub(crate) fn rounds_len(&self) -> usize {
+        self.state.lock().rounds.len()
+    }
+}
+
+/// Handle to an in-flight collective. Obtain from the `Communicator::i*`
+/// methods; retrieve the result with [`wait`](CommRequest::wait). Dropping a
+/// request without waiting is allowed (the deposit already happened, so
+/// peers still complete); the result is simply discarded and the rank's
+/// share of the round bookkeeping is retired by `Drop`.
+pub struct CommRequest {
+    core: Arc<CommCore>,
+    log: Arc<TrafficLog>,
+    round: Arc<Round>,
+    rank: usize,
+    seq: u64,
+    retired: bool,
+}
+
+/// Deposit `t` as `rank`'s contribution to its next collective on this core
+/// and return the request handle. `event_seq` attributes chunk events to the
+/// logical traffic-log entry (recorded by group rank 0).
+pub(crate) fn issue(
+    core: &Arc<CommCore>,
+    rank: usize,
+    kind: CollKind,
+    t: &Tensor,
+    event_seq: Option<usize>,
+    log: Arc<TrafficLog>,
+) -> CommRequest {
+    let engine = core.engine();
+    let group = core.size();
+    let mut st = engine.state.lock();
+    engine.assert_live();
+    let seq = st.next_seq[rank];
+    st.next_seq[rank] += 1;
+
+    let entry = st.rounds.entry(seq).or_insert_with(|| RoundEntry {
+        arrived: 0,
+        retired: 0,
+        contribs: vec![None; group],
+        shared: Arc::new(Round {
+            kind,
+            group,
+            seq,
+            frozen: OnceLock::new(),
+            next_chunk: AtomicUsize::new(0),
+            done_chunks: AtomicUsize::new(0),
+            complete: AtomicBool::new(false),
+            stamps: Mutex::new(Stamps {
+                issued_us: log.now_us(),
+                event_seq: None,
+            }),
+        }),
+    });
+    assert_eq!(
+        entry.shared.kind, kind,
+        "rank {rank} issued {kind:?} at collective #{seq} but a peer issued {:?} — \
+         nonblocking collectives must be issued in the same order on every rank",
+        entry.shared.kind
+    );
+    validate_contribution(kind, group, &entry.contribs, t);
+    debug_assert!(entry.contribs[rank].is_none(), "rank {rank} double-issue at #{seq}");
+    entry.contribs[rank] = Some(t.clone());
+    entry.arrived += 1;
+    if let Some(es) = event_seq {
+        entry.shared.stamps.lock().event_seq = Some(es);
+    }
+    let round = entry.shared.clone();
+    if entry.arrived == group {
+        let contribs: Vec<Tensor> = entry.contribs.iter_mut().map(|c| c.take().unwrap()).collect();
+        freeze(&round, contribs, log.now_us());
+        engine.cv.notify_all();
+    }
+    drop(st);
+    CommRequest {
+        core: core.clone(),
+        log,
+        round,
+        rank,
+        seq,
+        retired: false,
+    }
+}
+
+fn validate_contribution(kind: CollKind, group: usize, existing: &[Option<Tensor>], t: &Tensor) {
+    if let Some(first) = existing.iter().flatten().next() {
+        match kind {
+            CollKind::AllReduceSum | CollKind::ReduceScatterSum => assert_eq!(
+                first.dims(),
+                t.dims(),
+                "{kind:?} contribution shape mismatch across ranks"
+            ),
+            CollKind::AllGatherCat { axis } => {
+                assert_eq!(first.ndim(), t.ndim(), "AllGatherCat rank mismatch");
+                for (d, (&a, &b)) in first.dims().iter().zip(t.dims()).enumerate() {
+                    assert!(
+                        d == axis || a == b,
+                        "AllGatherCat non-axis dim {d} mismatch: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+    if kind == CollKind::ReduceScatterSum {
+        assert!(
+            t.dims()[0].is_multiple_of(group),
+            "reduce_scatter axis 0 ({}) not divisible by group size {group}",
+            t.dims()[0]
+        );
+    }
+    if let CollKind::AllGatherCat { axis } = kind {
+        assert!(axis < t.ndim(), "AllGatherCat axis {axis} out of range");
+    }
+}
+
+/// Build the shape-derived chunk schedule and the output buffer; publish the
+/// round as runnable. Called under the engine lock by the last depositor.
+fn freeze(round: &Arc<Round>, contribs: Vec<Tensor>, ready_us: f64) {
+    let mut chunks = Vec::new();
+    let mut gather_offsets = Vec::new();
+    let out_len = match round.kind {
+        CollKind::AllReduceSum | CollKind::ReduceScatterSum => {
+            let numel = contribs[0].numel();
+            let mut off = 0;
+            while off < numel {
+                let len = COMM_CHUNK_ELEMS.min(numel - off);
+                chunks.push(Chunk { src: 0, src_off: off, dst_off: off, len });
+                off += len;
+            }
+            numel
+        }
+        CollKind::AllGatherCat { .. } => {
+            let mut base = 0;
+            for (r, c) in contribs.iter().enumerate() {
+                gather_offsets.push(base);
+                let numel = c.numel();
+                let mut off = 0;
+                while off < numel {
+                    let len = COMM_CHUNK_ELEMS.min(numel - off);
+                    chunks.push(Chunk { src: r, src_off: off, dst_off: base + off, len });
+                    off += len;
+                }
+                base += numel;
+            }
+            base
+        }
+    };
+    let n_chunks = chunks.len();
+    let frozen = Frozen {
+        contribs,
+        chunks,
+        buf: SharedBuf::new(out_len),
+        gather_offsets,
+        result: OnceLock::new(),
+        ready_us,
+    };
+    round
+        .frozen
+        .set(frozen)
+        .unwrap_or_else(|_| unreachable!("round frozen twice"));
+    if n_chunks == 0 {
+        round.complete.store(true, Ordering::Release);
+    }
+}
+
+/// Ring-model wire bytes for one chunk of `len` f32 elements.
+fn chunk_wire_bytes(kind: CollKind, group: usize, len: usize) -> usize {
+    let bytes = len * 4;
+    let g = group.max(1);
+    match kind {
+        // ring all-reduce = reduce-scatter + all-gather of the chunk
+        CollKind::AllReduceSum => 2 * (g - 1) * bytes / g,
+        CollKind::ReduceScatterSum => (g - 1) * bytes / g,
+        // the source rank's chunk travels to every peer
+        CollKind::AllGatherCat { .. } => (g - 1) * bytes,
+    }
+}
+
+/// Run one claimed chunk: rank-order reduction or gather copy.
+fn run_chunk(round: &Round, frozen: &Frozen, c: &Chunk) {
+    // SAFETY: the chunk was claimed exclusively via `next_chunk.fetch_add`.
+    let out = unsafe { frozen.buf.slab(c.dst_off, c.len) };
+    match round.kind {
+        CollKind::AllReduceSum | CollKind::ReduceScatterSum => {
+            out.copy_from_slice(&frozen.contribs[0].data()[c.src_off..c.src_off + c.len]);
+            for contrib in frozen.contribs.iter().skip(1) {
+                let src = &contrib.data()[c.src_off..c.src_off + c.len];
+                // Plain adds in rank order: bitwise identical to the
+                // rendezvous path's whole-tensor `ops::add` chain.
+                for (o, &x) in out.iter_mut().zip(src) {
+                    *o += x;
+                }
+            }
+        }
+        CollKind::AllGatherCat { .. } => {
+            out.copy_from_slice(&frozen.contribs[c.src].data()[c.src_off..c.src_off + c.len]);
+        }
+    }
+}
+
+/// Claim and run up to `max` chunks of any runnable round on this core
+/// (oldest first). Returns whether any work was done. This is the
+/// cooperative scheduler: every rank that waits — or polls via `test` —
+/// drives forward whichever collective is ready, so reductions complete
+/// while slower ranks are still computing.
+fn try_progress(core: &CommCore, log: &TrafficLog, max: usize) -> bool {
+    let engine = core.engine();
+    let target: Option<Arc<Round>> = {
+        let st = engine.state.lock();
+        st.rounds
+            .values()
+            .filter(|e| e.shared.claimable())
+            .min_by_key(|e| e.shared.seq)
+            .map(|e| e.shared.clone())
+    };
+    let Some(round) = target else { return false };
+    let frozen = round.frozen.get().expect("claimable implies frozen");
+    let n_chunks = frozen.chunks.len();
+    let mut did = false;
+    for _ in 0..max {
+        let ci = round.next_chunk.fetch_add(1, Ordering::Relaxed);
+        if ci >= n_chunks {
+            break;
+        }
+        let c = &frozen.chunks[ci];
+        run_chunk(&round, frozen, c);
+        did = true;
+        let (issued_us, event_seq) = {
+            let s = round.stamps.lock();
+            (s.issued_us, s.event_seq)
+        };
+        log.record_chunk(ChunkEvent {
+            op: round.kind.op(),
+            coll_seq: event_seq.unwrap_or(usize::MAX),
+            chunk: ci,
+            bytes_on_wire: chunk_wire_bytes(round.kind, round.group, c.len),
+            issued_us,
+            ready_us: frozen.ready_us,
+            done_us: log.now_us(),
+        });
+        let done = round.done_chunks.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == n_chunks {
+            round.complete.store(true, Ordering::Release);
+            let _g = engine.state.lock();
+            engine.cv.notify_all();
+        }
+    }
+    did
+}
+
+impl CommRequest {
+    /// Nonblocking completion check. Contributes a bounded amount of chunk
+    /// work (one chunk) so polling callers still drive the pipeline.
+    pub fn test(&self) -> bool {
+        if self.round.complete.load(Ordering::Acquire) {
+            return true;
+        }
+        self.core.engine().assert_live();
+        try_progress(&self.core, &self.log, 1);
+        self.round.complete.load(Ordering::Acquire)
+    }
+
+    /// Drive chunk work without blocking and without consuming the request
+    /// (cooperative progress for callers that interleave compute).
+    pub fn progress(&self) {
+        if !self.round.complete.load(Ordering::Acquire) {
+            try_progress(&self.core, &self.log, usize::MAX);
+        }
+    }
+
+    /// Retire this rank's share of the round; once every rank has retired
+    /// (by `wait` or by drop), the round's state is released.
+    fn retire(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.retired = true;
+        let engine = self.core.engine();
+        let mut st = engine.state.lock();
+        if let Some(entry) = st.rounds.get_mut(&self.seq) {
+            entry.retired += 1;
+            if entry.retired == self.round.group {
+                st.rounds.remove(&self.seq);
+            }
+        }
+    }
+
+    /// Block until the collective completes and return this rank's result:
+    /// the full sum (all-reduce), this rank's chunk of the sum
+    /// (reduce-scatter), or the rank-order concatenation (all-gather).
+    ///
+    /// While blocked, the caller claims and executes pipeline chunks for any
+    /// runnable collective on the group — waiting ranks are the comm engine.
+    pub fn wait(mut self) -> Tensor {
+        let engine = self.core.engine();
+        loop {
+            if self.round.complete.load(Ordering::Acquire) {
+                break;
+            }
+            engine.assert_live();
+            if try_progress(&self.core, &self.log, usize::MAX) {
+                continue;
+            }
+            let mut st = engine.state.lock();
+            if self.round.complete.load(Ordering::Acquire) {
+                break;
+            }
+            engine.assert_live();
+            let work_available = st.rounds.values().any(|e| e.shared.claimable());
+            if !work_available {
+                engine.cv.wait(&mut st);
+            }
+        }
+        let frozen = self.round.frozen.get().expect("complete implies frozen");
+        // SAFETY: completion observed with acquire ordering above.
+        let out = unsafe { frozen.buf.read() };
+        let result = match self.round.kind {
+            CollKind::AllReduceSum => frozen
+                .result
+                .get_or_init(|| {
+                    Tensor::from_vec(out.to_vec(), frozen.contribs[0].shape().clone())
+                })
+                .clone(),
+            CollKind::ReduceScatterSum => {
+                let dims = frozen.contribs[0].dims();
+                let k = dims[0] / self.round.group;
+                let row: usize = dims[1..].iter().product::<usize>().max(1);
+                let mut out_dims = dims.to_vec();
+                out_dims[0] = k;
+                Tensor::from_vec(
+                    out[self.rank * k * row..(self.rank + 1) * k * row].to_vec(),
+                    Shape::new(&out_dims),
+                )
+            }
+            CollKind::AllGatherCat { axis } => frozen
+                .result
+                .get_or_init(|| {
+                    if axis == 0 {
+                        // Row-major concat along axis 0 is the staging buffer.
+                        let mut dims = frozen.contribs[0].dims().to_vec();
+                        dims[0] = frozen.contribs.iter().map(|c| c.dims()[0]).sum();
+                        Tensor::from_vec(out.to_vec(), Shape::new(&dims))
+                    } else {
+                        let parts: Vec<Tensor> = frozen
+                            .contribs
+                            .iter()
+                            .zip(&frozen.gather_offsets)
+                            .map(|(c, &off)| {
+                                Tensor::from_vec(
+                                    out[off..off + c.numel()].to_vec(),
+                                    c.shape().clone(),
+                                )
+                            })
+                            .collect();
+                        let refs: Vec<&Tensor> = parts.iter().collect();
+                        ops::concat(&refs, axis)
+                    }
+                })
+                .clone(),
+        };
+        self.retire();
+        result
+    }
+}
+
+impl Drop for CommRequest {
+    fn drop(&mut self) {
+        // Un-waited requests (fire-and-forget, over-eager prefetch, unwind
+        // after a poison panic) must still release their round bookkeeping,
+        // or every dropped request would leak its contributions and output
+        // buffer for the life of the process group.
+        self.retire();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::run_ranks;
+
+    #[test]
+    fn iall_reduce_matches_blocking_across_chunk_boundaries() {
+        // 40_000 elements = 3 chunks (2 full + 1 partial).
+        let run = run_ranks(4, |ctx| {
+            let n = 40_000;
+            let r = ctx.comm.rank() as f32;
+            let t = Tensor::from_vec((0..n).map(|i| i as f32 * 0.001 + r).collect(), [n]);
+            let req = ctx.comm.iall_reduce_sum(&t);
+            let got = req.wait();
+            (got.at(0), got.at(n - 1), got.numel())
+        });
+        // sum over ranks of (i*0.001 + r) = 4*i*0.001 + 6
+        for (first, last, n) in run.outputs {
+            assert_eq!(n, 40_000);
+            assert_eq!(first, 6.0);
+            assert_eq!(last, 39_999.0f32 * 0.001 * 4.0 + 6.0);
+        }
+    }
+
+    #[test]
+    fn issue_then_compute_then_wait() {
+        let run = run_ranks(3, |ctx| {
+            let t = Tensor::full([100], (ctx.comm.rank() + 1) as f32);
+            let req = ctx.comm.iall_reduce_sum(&t);
+            // "compute" between issue and wait
+            let mut acc = 0.0f32;
+            for i in 0..1000 {
+                acc += (i as f32).sin();
+            }
+            let out = req.wait();
+            (out.at(0), acc.is_finite())
+        });
+        for (v, fin) in run.outputs {
+            assert_eq!(v, 6.0);
+            assert!(fin);
+        }
+    }
+
+    #[test]
+    fn ireduce_scatter_gives_rank_chunks() {
+        let run = run_ranks(2, |ctx| {
+            let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]);
+            ctx.comm.ireduce_scatter_sum(&t).wait().to_vec()
+        });
+        assert_eq!(run.outputs[0], vec![2.0, 4.0]);
+        assert_eq!(run.outputs[1], vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn igather_cat_axis0_and_axis1() {
+        let run = run_ranks(2, |ctx| {
+            let r = ctx.comm.rank() as f32;
+            let t = Tensor::from_vec(vec![r, r + 10.0], [1, 2]);
+            let a0 = ctx.comm.iall_gather_cat(&t, 0).wait();
+            let a1 = ctx.comm.iall_gather_cat(&t, 1).wait();
+            (a0.dims().to_vec(), a0.to_vec(), a1.dims().to_vec(), a1.to_vec())
+        });
+        for (d0, v0, d1, v1) in run.outputs {
+            assert_eq!(d0, vec![2, 2]);
+            assert_eq!(v0, vec![0.0, 10.0, 1.0, 11.0]);
+            assert_eq!(d1, vec![1, 4]);
+            assert_eq!(v1, vec![0.0, 10.0, 1.0, 11.0]);
+        }
+    }
+
+    #[test]
+    fn several_requests_in_flight_complete_in_any_wait_order() {
+        let run = run_ranks(2, |ctx| {
+            let r = ctx.comm.rank() as f32;
+            let a = ctx.comm.iall_reduce_sum(&Tensor::full([10], r + 1.0));
+            let b = ctx.comm.iall_reduce_sum(&Tensor::full([10], 2.0 * r + 1.0));
+            let c = ctx.comm.iall_gather_cat(&Tensor::full([2], r), 0);
+            // wait out of issue order
+            let vc = c.wait().to_vec();
+            let vb = b.wait().at(0);
+            let va = a.wait().at(0);
+            (va, vb, vc)
+        });
+        for (va, vb, vc) in run.outputs {
+            assert_eq!(va, 3.0);
+            assert_eq!(vb, 4.0);
+            assert_eq!(vc, vec![0.0, 0.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn test_polls_and_eventually_completes() {
+        let run = run_ranks(2, |ctx| {
+            let req = ctx.comm.iall_reduce_sum(&Tensor::ones([33_000]));
+            // test() may be false while peers deposit; poll until done.
+            let mut polls = 0usize;
+            while !req.test() {
+                polls += 1;
+                assert!(polls < 1_000_000, "test never completed");
+            }
+            req.wait().at(0)
+        });
+        for v in run.outputs {
+            assert_eq!(v, 2.0);
+        }
+    }
+
+    #[test]
+    fn dropped_request_does_not_block_peers() {
+        let run = run_ranks(2, |ctx| {
+            let req = ctx.comm.iall_reduce_sum(&Tensor::ones([8]));
+            if ctx.comm.rank() == 0 {
+                drop(req); // fire-and-forget: deposit already happened
+                0.0
+            } else {
+                req.wait().at(0)
+            }
+        });
+        assert_eq!(run.outputs[1], 2.0);
+    }
+
+    #[test]
+    fn dropped_requests_retire_their_rounds() {
+        // Fire-and-forget must not leak round state: drop retires, and once
+        // every rank has retired (drop or wait) the entry is released.
+        let run = run_ranks(2, |ctx| {
+            for _ in 0..20 {
+                let _ = ctx.comm.iall_reduce_sum(&Tensor::ones([64]));
+            }
+            ctx.comm.barrier();
+            ctx.comm.barrier(); // both ranks' drops have happened
+            ctx.comm.inflight_rounds()
+        });
+        for n in run.outputs {
+            assert_eq!(n, 0, "dropped requests must not leak rounds");
+        }
+    }
+
+    #[test]
+    fn chunk_events_stamped_once_per_chunk() {
+        let run = run_ranks(2, |ctx| {
+            let n = COMM_CHUNK_ELEMS * 2 + 7; // 3 chunks
+            let req = ctx.comm.iall_reduce_sum(&Tensor::ones([n]));
+            let _ = req.wait();
+            ctx.comm.barrier();
+            (
+                ctx.comm.traffic().chunk_events().len(),
+                ctx.comm.traffic().bytes_on_wire(),
+            )
+        });
+        let (chunks, wire) = run.outputs[0];
+        assert_eq!(chunks, 3, "one event per chunk across the whole group");
+        // ring all-reduce: 2·(g−1)/g of the logical bytes
+        assert_eq!(wire, (COMM_CHUNK_ELEMS * 2 + 7) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same order on every rank")]
+    fn mismatched_issue_order_is_detected() {
+        run_ranks(2, |ctx| {
+            let t = Tensor::ones([4]);
+            if ctx.comm.rank() == 0 {
+                ctx.comm.iall_reduce_sum(&t).wait()
+            } else {
+                ctx.comm.iall_gather_cat(&t, 0).wait()
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0 failed mid-flight")]
+    fn waiters_on_inflight_requests_observe_poison() {
+        run_ranks(2, |ctx| {
+            let req = ctx.comm.iall_reduce_sum(&Tensor::ones([4]));
+            if ctx.comm.rank() == 0 {
+                // Panic *after* issuing but before waiting: rank 1's round
+                // is complete-able, but give it a second, unmatched round it
+                // can never finish, then die.
+                panic!("rank 0 failed mid-flight");
+            }
+            let _ = req.wait();
+            // second collective never matched by rank 0
+            ctx.comm.iall_reduce_sum(&Tensor::ones([4])).wait().at(0)
+        });
+    }
+}

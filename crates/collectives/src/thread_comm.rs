@@ -14,6 +14,8 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::nonblocking::Engine;
+
 pub type Payload = Box<dyn Any + Send + Sync>;
 
 struct State {
@@ -25,11 +27,14 @@ struct State {
     poisoned: bool,
 }
 
-/// Shared rendezvous state for one process group.
+/// Shared rendezvous state for one process group, plus the nonblocking
+/// chunked-collective engine ([`crate::nonblocking`]) that shares its
+/// poison lifecycle.
 pub struct CommCore {
     size: usize,
     state: Mutex<State>,
     cv: Condvar,
+    engine: Engine,
 }
 
 impl CommCore {
@@ -46,6 +51,7 @@ impl CommCore {
                 poisoned: false,
             }),
             cv: Condvar::new(),
+            engine: Engine::new(size),
         })
     }
 
@@ -54,12 +60,20 @@ impl CommCore {
         self.size
     }
 
-    /// Mark the group as broken (a peer panicked); wakes all waiters, which
-    /// then panic instead of deadlocking.
+    #[inline]
+    pub(crate) fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mark the group as broken (a peer panicked); wakes all waiters — both
+    /// rendezvous blockers and in-flight [`crate::nonblocking::CommRequest`]
+    /// waiters — which then panic instead of deadlocking.
     pub fn poison(&self) {
         let mut s = self.state.lock();
         s.poisoned = true;
         self.cv.notify_all();
+        drop(s);
+        self.engine.poison();
     }
 
     /// Deposit `payload` as `rank` and receive everyone's payloads, in rank

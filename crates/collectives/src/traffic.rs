@@ -2,12 +2,16 @@
 //!
 //! Every collective logs one event per *call site* (recorded once by rank 0
 //! of the participating group, so counts are per logical collective, not per
-//! rank). The D-CHAG paper's central claim — "no communication in the
-//! backward pass" — is asserted in tests by diffing the log around the
-//! backward call.
+//! rank). Chunked nonblocking collectives log their **logical** payload once
+//! at issue — never per chunk — and additionally stamp one [`ChunkEvent`]
+//! per pipelined chunk as it completes, which is what the overlap
+//! measurement reads. The D-CHAG paper's central claim — "no communication
+//! in the backward pass" — is asserted in tests by diffing the log around
+//! the backward call.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -45,7 +49,8 @@ impl CollOp {
 #[derive(Clone, Debug)]
 pub struct CollEvent {
     pub op: CollOp,
-    /// Per-rank input payload bytes (the `sendbuf` size).
+    /// Per-rank input payload bytes (the `sendbuf` size). Logged once per
+    /// logical collective — chunked pipelining does not multiply this.
     pub payload_bytes: usize,
     /// Size of the participating group.
     pub group_size: usize,
@@ -55,11 +60,48 @@ pub struct CollEvent {
     pub seq: usize,
 }
 
+/// One completed chunk of a pipelined (nonblocking) collective.
+///
+/// Timestamps are microseconds since the log's creation, so events from all
+/// ranks share one clock and the overlap window can be reconstructed.
+#[derive(Clone, Debug)]
+pub struct ChunkEvent {
+    pub op: CollOp,
+    /// `seq` of the parent [`CollEvent`] (`usize::MAX` while unattributed —
+    /// only possible if the recording rank never deposited, which cannot
+    /// happen for a completed chunk).
+    pub coll_seq: usize,
+    /// Chunk index within the collective's shape-derived schedule.
+    pub chunk: usize,
+    /// Ring-model bytes this chunk moved across the wire.
+    pub bytes_on_wire: usize,
+    /// When the first rank issued the collective.
+    pub issued_us: f64,
+    /// When the last rank deposited (the chunk became runnable).
+    pub ready_us: f64,
+    /// When the chunk's reduction/copy finished.
+    pub done_us: f64,
+}
+
 /// Shared, thread-safe event log for one world.
-#[derive(Default)]
 pub struct TrafficLog {
     events: Mutex<Vec<CollEvent>>,
+    chunk_events: Mutex<Vec<ChunkEvent>>,
     seq: AtomicUsize,
+    wire_bytes: AtomicUsize,
+    epoch: Instant,
+}
+
+impl Default for TrafficLog {
+    fn default() -> Self {
+        TrafficLog {
+            events: Mutex::new(Vec::new()),
+            chunk_events: Mutex::new(Vec::new()),
+            seq: AtomicUsize::new(0),
+            wire_bytes: AtomicUsize::new(0),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl TrafficLog {
@@ -67,7 +109,15 @@ impl TrafficLog {
         Arc::new(Self::default())
     }
 
-    pub fn record(&self, op: CollOp, payload_bytes: usize, group_ranks: &[usize]) {
+    /// Microseconds since the log was created (the shared clock for
+    /// [`ChunkEvent`] timestamps).
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Record one logical collective; returns its sequence number so chunk
+    /// events can be attributed to it.
+    pub fn record(&self, op: CollOp, payload_bytes: usize, group_ranks: &[usize]) -> usize {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.events.lock().push(CollEvent {
             op,
@@ -76,11 +126,31 @@ impl TrafficLog {
             group_ranks: group_ranks.to_vec(),
             seq,
         });
+        seq
+    }
+
+    /// Record one completed pipeline chunk (called by the worker that
+    /// finished it; accumulates the wire-byte counter).
+    pub fn record_chunk(&self, ev: ChunkEvent) {
+        self.wire_bytes.fetch_add(ev.bytes_on_wire, Ordering::Relaxed);
+        self.chunk_events.lock().push(ev);
     }
 
     /// Snapshot of all events so far.
     pub fn events(&self) -> Vec<CollEvent> {
         self.events.lock().clone()
+    }
+
+    /// Snapshot of all per-chunk events so far (pipelined collectives only).
+    pub fn chunk_events(&self) -> Vec<ChunkEvent> {
+        self.chunk_events.lock().clone()
+    }
+
+    /// Total ring-model bytes moved by the pipelined (chunked) path. The
+    /// exchange-path collectives (broadcast, barrier, `all_gather_vec`,
+    /// `split`) move payloads by `Arc` clone and do not contribute.
+    pub fn bytes_on_wire(&self) -> usize {
+        self.wire_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of events recorded so far — cheap cursor for "no comm between
@@ -113,6 +183,8 @@ impl TrafficLog {
 
     pub fn clear(&self) {
         self.events.lock().clear();
+        self.chunk_events.lock().clear();
+        self.wire_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -160,5 +232,29 @@ mod tests {
         for w in ev.windows(2) {
             assert!(w[0].seq < w[1].seq);
         }
+    }
+
+    #[test]
+    fn chunk_events_accumulate_wire_bytes() {
+        let log = TrafficLog::new();
+        let seq = log.record(CollOp::AllReduce, 4096, &[0, 1]);
+        for c in 0..3 {
+            log.record_chunk(ChunkEvent {
+                op: CollOp::AllReduce,
+                coll_seq: seq,
+                chunk: c,
+                bytes_on_wire: 100,
+                issued_us: 0.0,
+                ready_us: 1.0,
+                done_us: 2.0,
+            });
+        }
+        assert_eq!(log.bytes_on_wire(), 300);
+        assert_eq!(log.chunk_events().len(), 3);
+        // logical payload logged once, not per chunk
+        assert_eq!(log.count(CollOp::AllReduce), 1);
+        log.clear();
+        assert_eq!(log.bytes_on_wire(), 0);
+        assert!(log.chunk_events().is_empty());
     }
 }

@@ -189,6 +189,14 @@ impl AggUnit {
         }
     }
 
+    /// Which flavor this unit is (`-C` cross-attention / `-L` linear).
+    pub fn kind(&self) -> crate::config::UnitKind {
+        match self {
+            AggUnit::Cross(_) => crate::config::UnitKind::CrossAttention,
+            AggUnit::Linear(_) => crate::config::UnitKind::Linear,
+        }
+    }
+
     /// `[N, C, D] -> [N, D]`.
     pub fn forward(&self, bind: &dyn Binder, x: &Var) -> Var {
         match self {

@@ -11,13 +11,79 @@
 //!   slice, no collective** (paper §3.3: "during the backward pass, we
 //!   gather only the relevant gradients for each GPU, avoiding any
 //!   additional communication"). The traffic log proves this in tests.
+//! * [`issue_all_gather_cat`] / [`issue_all_gather_rs`] — the nonblocking
+//!   split of the above: issue the gather now, keep recording compute on
+//!   the tape, and [`PendingGatherVar::wait`] where the value is needed.
+//!   The sequence-parallel block uses this to hide the K gather under the V
+//!   projection's GEMM.
 
-use dchag_collectives::Communicator;
+use dchag_collectives::{CommRequest, Communicator};
 use dchag_tensor::ops;
 use dchag_tensor::{Tape, Var};
 
 #[cfg(test)]
 use dchag_tensor::Tensor;
+
+/// Backward rule of a pending gather.
+#[derive(Clone, Copy)]
+enum GatherAdjoint {
+    /// Local slice, no communication (replicated downstream consumers).
+    Slice,
+    /// AllReduce-then-slice (rank-divergent downstream consumers).
+    ReduceSlice,
+}
+
+/// An all-gather in flight at the autograd level: issued now, recorded on
+/// the tape at [`wait`](PendingGatherVar::wait). Everything between issue
+/// and wait — typically the next projection's GEMM — overlaps the gather's
+/// chunk pipeline.
+pub struct PendingGatherVar {
+    req: CommRequest,
+    xid: usize,
+    rank: usize,
+    axis: usize,
+    local: usize,
+    comm: Communicator,
+    adjoint: GatherAdjoint,
+}
+
+impl PendingGatherVar {
+    /// Complete the gather and record the tape node carrying its adjoint.
+    pub fn wait(self, tape: &Tape) -> Var {
+        let PendingGatherVar { req, xid, rank, axis, local, comm, adjoint } = self;
+        let gathered = req.wait();
+        match adjoint {
+            GatherAdjoint::Slice => tape.custom(gathered, move |g, emit| {
+                emit(xid, ops::slice(g, axis, rank * local, local));
+            }),
+            GatherAdjoint::ReduceSlice => tape.custom(gathered, move |g, emit| {
+                let summed = comm.all_reduce_sum(g);
+                emit(xid, ops::slice(&summed, axis, rank * local, local));
+            }),
+        }
+    }
+}
+
+/// Issue the AllGather behind [`all_gather_cat`] without waiting.
+pub fn issue_all_gather_cat(comm: &Communicator, x: &Var, axis: usize) -> PendingGatherVar {
+    PendingGatherVar {
+        req: comm.iall_gather_cat(x.value(), axis),
+        xid: x.id(),
+        rank: comm.rank(),
+        axis,
+        local: x.dims()[axis],
+        comm: comm.clone(),
+        adjoint: GatherAdjoint::Slice,
+    }
+}
+
+/// Issue the AllGather behind [`all_gather_rs`] without waiting.
+pub fn issue_all_gather_rs(comm: &Communicator, x: &Var, axis: usize) -> PendingGatherVar {
+    PendingGatherVar {
+        adjoint: GatherAdjoint::ReduceSlice,
+        ..issue_all_gather_cat(comm, x, axis)
+    }
+}
 
 /// Megatron `f`: identity forward, AllReduce-sum backward.
 ///
@@ -47,16 +113,12 @@ pub fn tp_g(tape: &Tape, comm: &Communicator, x: &Var) -> Var {
 
 /// AllGather along `axis` with rank-order concatenation. Backward slices the
 /// local contribution out of the incoming gradient — **no communication**.
+/// Thin `issue + wait` over [`issue_all_gather_cat`]; call that directly
+/// when there is compute to overlap.
 ///
 /// All ranks must contribute identical shapes.
 pub fn all_gather_cat(tape: &Tape, comm: &Communicator, x: &Var, axis: usize) -> Var {
-    let xid = x.id();
-    let rank = comm.rank();
-    let local = x.dims()[axis];
-    let gathered = comm.all_gather_cat(x.value(), axis);
-    tape.custom(gathered, move |g, emit| {
-        emit(xid, ops::slice(g, axis, rank * local, local));
-    })
+    issue_all_gather_cat(comm, x, axis).wait(tape)
 }
 
 /// AllGather along `axis` whose adjoint is a **reduce-scatter**: the
@@ -67,15 +129,7 @@ pub fn all_gather_cat(tape: &Tape, comm: &Communicator, x: &Var, axis: usize) ->
 /// only correct when the downstream computation is replicated (D-CHAG's
 /// shared final aggregation).
 pub fn all_gather_rs(tape: &Tape, comm: &Communicator, x: &Var, axis: usize) -> Var {
-    let xid = x.id();
-    let rank = comm.rank();
-    let local = x.dims()[axis];
-    let comm2 = comm.clone();
-    let gathered = comm.all_gather_cat(x.value(), axis);
-    tape.custom(gathered, move |g, emit| {
-        let summed = comm2.all_reduce_sum(g);
-        emit(xid, ops::slice(&summed, axis, rank * local, local));
-    })
+    issue_all_gather_rs(comm, x, axis).wait(tape)
 }
 
 /// Identity forward, AllReduce-*mean* backward — used to average the loss

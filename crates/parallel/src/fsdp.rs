@@ -6,11 +6,27 @@
 //! ReduceScatters the gradient so each rank keeps only its shard. Optimizer
 //! state (Adam moments) therefore lives entirely on shards — the memory
 //! saving that motivates FSDP.
+//!
+//! Both collectives ride the nonblocking chunked engine:
+//!
+//! * **Forward prefetch** — [`FsdpBinder::prefetch`] (or the opt-in
+//!   [`FsdpBinder::with_prefetch`] auto mode) issues the *next* parameter's
+//!   AllGather while the current layer's GEMM is still running, so the
+//!   gather's deposit rendezvous is already satisfied by the time `bind`
+//!   needs the value and the chunk copies run instead of a stall.
+//! * **Backward** — the gradient ReduceScatter is *issued* inside the
+//!   adjoint the moment that parameter's gradient is final and *waited* in
+//!   [`FsdpBinder::sharded_grads`], overlapping the scatter pipeline with
+//!   the rest of the backward pass.
+//!
+//! Prefetch mode must match across ranks (the engine matches collectives by
+//! per-rank issue order); results are bitwise identical either way.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use dchag_collectives::Communicator;
+use dchag_collectives::{CommRequest, Communicator};
 use dchag_tensor::ops;
 use dchag_tensor::prelude::*;
 
@@ -81,9 +97,20 @@ impl FsdpParams {
 
     /// Materialize the full value of parameter `i` (AllGather).
     pub fn gather_full(&self, i: usize) -> Tensor {
-        let meta = &self.metas[i];
+        self.finish_gather(i, self.issue_gather(i))
+    }
+
+    /// Issue the AllGather of parameter `i`'s shards without waiting.
+    pub fn issue_gather(&self, i: usize) -> CommRequest {
         let shard = self.shard_store.get(self.shard_ids[i]);
-        let full_padded = self.comm.all_gather_cat(shard, 0);
+        self.comm.iall_gather_cat(shard, 0)
+    }
+
+    /// Complete an [`issue_gather`](FsdpParams::issue_gather): unpad and
+    /// reshape to the parameter's full value.
+    pub fn finish_gather(&self, i: usize, req: CommRequest) -> Tensor {
+        let meta = &self.metas[i];
+        let full_padded = req.wait();
         let flat = ops::slice(&full_padded, 0, 0, meta.numel);
         flat.reshape(&meta.dims)
     }
@@ -94,12 +121,18 @@ impl FsdpParams {
     }
 }
 
-/// Binder that gathers shards on demand and reduce-scatters gradients.
+/// Binder that gathers shards on demand (optionally prefetched) and issues
+/// nonblocking gradient reduce-scatters.
 pub struct FsdpBinder<'a> {
     tape: &'a Tape,
     params: &'a FsdpParams,
     bound: RefCell<Vec<Option<Var>>>,
     stash: Rc<RefCell<Vec<Option<Tensor>>>>,
+    /// In-flight forward gathers, keyed by parameter index.
+    pending_gather: RefCell<HashMap<usize, CommRequest>>,
+    /// In-flight backward reduce-scatters, in issue order.
+    pending_rs: Rc<RefCell<Vec<(usize, CommRequest)>>>,
+    auto_prefetch: bool,
 }
 
 impl<'a> FsdpBinder<'a> {
@@ -109,12 +142,45 @@ impl<'a> FsdpBinder<'a> {
             params,
             bound: RefCell::new(vec![None; params.len()]),
             stash: Rc::new(RefCell::new(vec![None; params.len()])),
+            pending_gather: RefCell::new(HashMap::new()),
+            pending_rs: Rc::new(RefCell::new(Vec::new())),
+            auto_prefetch: false,
         }
     }
 
+    /// Binder with automatic next-parameter prefetch: binding parameter `i`
+    /// issues the AllGather for parameter `i+1`, hiding its rendezvous
+    /// under the current layer's compute. All ranks must agree on the mode;
+    /// note the lookahead also gathers a trailing parameter the forward
+    /// pass may never bind (harmless — the request is simply dropped).
+    pub fn with_prefetch(tape: &'a Tape, params: &'a FsdpParams) -> Self {
+        FsdpBinder {
+            auto_prefetch: true,
+            ..Self::new(tape, params)
+        }
+    }
+
+    /// Launch the AllGather for `id` now, so a later `bind` finds it in
+    /// flight (layer-aware manual prefetch). No-op if already bound or
+    /// pending. Must be called at the same program point on every rank.
+    pub fn prefetch(&self, id: ParamId) {
+        let i = id.index();
+        if i >= self.params.len() || self.bound.borrow()[i].is_some() {
+            return;
+        }
+        self.pending_gather
+            .borrow_mut()
+            .entry(i)
+            .or_insert_with(|| self.params.issue_gather(i));
+    }
+
     /// Local *shard* gradients captured during backward (same indexing as
-    /// the shard store). Call after `tape.backward`.
+    /// the shard store). Waits any reduce-scatters still in flight. Call
+    /// after `tape.backward`.
     pub fn sharded_grads(&self) -> Vec<Option<Tensor>> {
+        for (i, req) in self.pending_rs.borrow_mut().drain(..) {
+            self.stash.borrow_mut()[i] = Some(req.wait());
+        }
         self.stash.borrow().clone()
     }
 }
@@ -129,18 +195,24 @@ impl Binder for FsdpBinder<'_> {
         if let Some(v) = &self.bound.borrow()[i] {
             return v.clone();
         }
-        let full = self.params.gather_full(i);
+        let full = match self.pending_gather.borrow_mut().remove(&i) {
+            Some(req) => self.params.finish_gather(i, req),
+            None => self.params.gather_full(i),
+        };
+        if self.auto_prefetch && i + 1 < self.params.len() {
+            self.prefetch(ParamId::from_index(i + 1));
+        }
         let meta_padded = self.params.metas[i].padded;
-        let meta_numel = self.params.metas[i].numel;
         let comm = self.params.comm.clone();
-        let stash = self.stash.clone();
+        let pending_rs = self.pending_rs.clone();
         let v = self.tape.custom(full, move |g, emit| {
             let _ = &emit; // gradient terminates here: it belongs to a shard, not a tape node
             let mut flat = g.to_vec();
             flat.resize(meta_padded, 0.0);
-            let shard = comm.reduce_scatter_sum(&Tensor::from_vec(flat, [meta_padded]));
-            let _ = meta_numel;
-            stash.borrow_mut()[i] = Some(shard);
+            // Issue now — while the backward keeps walking earlier layers —
+            // and wait in `sharded_grads`. The stash stays None until then.
+            let req = comm.ireduce_scatter_sum(&Tensor::from_vec(flat, [meta_padded]));
+            pending_rs.borrow_mut().push((i, req));
         });
         self.bound.borrow_mut()[i] = Some(v.clone());
         v
@@ -281,6 +353,96 @@ mod tests {
         // l1 has w+b = 2 params -> 2 gathers in forward, 2 reduce-scatters in backward (per world)
         assert_eq!(run.outputs[0].0, 2);
         assert_eq!(run.outputs[0].1, 2);
+    }
+
+    #[test]
+    fn prefetch_binder_matches_on_demand_bitwise() {
+        // Auto-prefetch changes only the issue points, never the numerics:
+        // a full forward/backward/step must agree bit-for-bit.
+        for world in [2usize, 4] {
+            let run = run_ranks(world, |ctx| {
+                let step = |prefetch: bool| -> Vec<Vec<f32>> {
+                    let mut store = ParamStore::new();
+                    let mut rng = Rng::new(5);
+                    let (l1, l2) = build_model(&mut store, &mut rng);
+                    let mut fsdp = FsdpParams::from_store(&store, &ctx.comm);
+                    let tape = Tape::new();
+                    let bind = if prefetch {
+                        FsdpBinder::with_prefetch(&tape, &fsdp)
+                    } else {
+                        FsdpBinder::new(&tape, &fsdp)
+                    };
+                    let mut drng = Rng::new(60 + ctx.comm.rank() as u64);
+                    let xv = tape.leaf(Tensor::randn([3, 4], 1.0, &mut drng));
+                    let y = l2.forward(&bind, &tape.gelu(&l1.forward(&bind, &xv)));
+                    let loss = tape.mean_all(&tape.mul(&y, &y));
+                    let _ = tape.backward(&loss);
+                    let g = bind.sharded_grads();
+                    let mut opt = AdamW::new(0.01);
+                    opt.step(&mut fsdp.shard_store, &g);
+                    (0..fsdp.len()).map(|i| fsdp.gather_full(i).to_vec()).collect()
+                };
+                (step(false), step(true))
+            });
+            for (on_demand, prefetched) in run.outputs {
+                assert_eq!(on_demand, prefetched, "world={world}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_prefetch_keeps_gather_count() {
+        let run = run_ranks(2, |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let (l1, _) = build_model(&mut store, &mut rng);
+            let fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let tape = Tape::new();
+            let bind = FsdpBinder::new(&tape, &fsdp);
+            // Launch both of l1's gathers up front, then bind normally.
+            bind.prefetch(dchag_tensor::prelude::ParamId::from_index(0));
+            bind.prefetch(dchag_tensor::prelude::ParamId::from_index(1));
+            let xv = tape.leaf(Tensor::ones([2, 4]));
+            let _ = l1.forward(&bind, &xv);
+            ctx.comm.barrier();
+            ctx.comm.traffic().count(CollOp::AllGather)
+        });
+        assert_eq!(run.outputs[0], 2, "prefetch + bind gathers each param once");
+    }
+
+    #[test]
+    fn backward_scatter_waits_in_sharded_grads() {
+        // The reduce-scatter is issued during backward (events inside the
+        // window) but its result only lands at sharded_grads().
+        let run = run_ranks(2, |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let (l1, _) = build_model(&mut store, &mut rng);
+            let fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let tape = Tape::new();
+            let bind = FsdpBinder::new(&tape, &fsdp);
+            let xv = tape.leaf(Tensor::ones([2, 4]));
+            let loss = tape.sum_all(&l1.forward(&bind, &xv));
+            ctx.comm.barrier();
+            let mid = ctx.comm.traffic().cursor();
+            let _ = tape.backward(&loss);
+            ctx.comm.barrier();
+            let rs_issued = ctx
+                .comm
+                .traffic()
+                .since(mid)
+                .iter()
+                .filter(|e| e.op == CollOp::ReduceScatter)
+                .count();
+            let grads = bind.sharded_grads();
+            (rs_issued, grads.iter().filter(|g| g.is_some()).count())
+        });
+        // Events are recorded by group rank 0, so only rank 0's cursor
+        // window is deterministic relative to its own backward.
+        assert_eq!(run.outputs[0].0, 2, "w and b scatters issued during backward");
+        for (_, got) in run.outputs {
+            assert_eq!(got, 2);
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use dchag_tensor::prelude::*;
 
 use dchag_model::vit::TransformerBlock;
 
-use crate::comm_ops::{all_gather_cat, all_gather_rs};
+use crate::comm_ops::{all_gather_cat, issue_all_gather_rs};
 
 /// Slice this rank's token shard out of a replicated `[B, S, D]` sequence.
 pub fn scatter_sequence(tape: &Tape, comm: &Communicator, x: &Var) -> Var {
@@ -69,9 +69,13 @@ impl SpBlock {
         let h = self.inner.ln1.forward(bind, x);
         let q = attn.wq.forward(bind, &h); // [B, S/sp, inner]
         // K/V feed every rank's queries: gather with a reduce-scatter
-        // adjoint so cross-rank gradient contributions come home.
-        let k = all_gather_rs(tape, comm, &attn.wk.forward(bind, &h), 1); // [B, S, inner]
-        let v = all_gather_rs(tape, comm, &attn.wv.forward(bind, &h), 1);
+        // adjoint so cross-rank gradient contributions come home. K's
+        // gather is issued nonblocking so its chunk pipeline runs under the
+        // V projection's GEMM (and V's under the head-split reshapes).
+        let k_pending = issue_all_gather_rs(comm, &attn.wk.forward(bind, &h), 1);
+        let v_pending = issue_all_gather_rs(comm, &attn.wv.forward(bind, &h), 1);
+        let k = k_pending.wait(tape); // [B, S, inner]
+        let v = v_pending.wait(tape);
 
         // head split: [B, S, H·dh] -> [B·H, S, dh]
         let split = |t: &Var| {

@@ -65,6 +65,48 @@ pub fn allreduce_time(machine: &MachineSpec, bytes: f64, g: usize, wire: Wire) -
     2.0 * steps * (bytes / g as f64 / bw(machine, wire) + alpha(machine, wire))
 }
 
+// ----- chunked pipelining / comm-compute overlap -----------------------------
+
+/// Ring AllReduce split into `chunks` pipeline stages: the bandwidth term is
+/// unchanged, but every chunk pays its own latency rounds — the cost of
+/// making the transfer overlappable.
+pub fn chunked_allreduce_time(
+    machine: &MachineSpec,
+    bytes: f64,
+    g: usize,
+    wire: Wire,
+    chunks: usize,
+) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    let steps = (g - 1) as f64;
+    let c = chunks.max(1) as f64;
+    2.0 * steps * (bytes / g as f64 / bw(machine, wire)) + c * 2.0 * steps * alpha(machine, wire)
+}
+
+/// Wall-clock of `compute` overlapped against a `comm`-second collective
+/// pipelined over `chunks` stages: the longer leg hides the shorter, plus a
+/// one-chunk fill/drain that can never overlap. `chunks == 0` (or 1) models
+/// the blocking rendezvous — pure serialization.
+pub fn overlapped_time(compute: f64, comm: f64, chunks: usize) -> f64 {
+    if chunks <= 1 {
+        return compute + comm;
+    }
+    compute.max(comm) + comm / chunks as f64
+}
+
+/// Measured overlap fraction: how much of the communication time was hidden
+/// behind compute, from the three wall clocks a bench observes. 0 = fully
+/// serialized (pipelined ran no faster than blocking), 1 = communication
+/// entirely hidden.
+pub fn overlap_fraction(blocking: f64, pipelined: f64, comm: f64) -> f64 {
+    if comm <= 0.0 {
+        return 0.0;
+    }
+    ((blocking - pipelined) / comm).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +147,40 @@ mod tests {
         let small = allgather_time(&m(), 1e3, 8, Wire::Intra);
         let large = allgather_time(&m(), 1e9, 8, Wire::Intra);
         assert!(large > 100.0 * small);
+    }
+
+    #[test]
+    fn chunking_adds_only_latency() {
+        let s = 1e9;
+        let whole = allreduce_time(&m(), s, 8, Wire::Inter);
+        let chunked = chunked_allreduce_time(&m(), s, 8, Wire::Inter, 16);
+        assert!(chunked > whole, "per-chunk latency rounds cost something");
+        // extra cost is exactly the 15 additional alpha rounds
+        let extra = 15.0 * 2.0 * 7.0 * m().alpha_inter;
+        assert!((chunked - whole - extra).abs() / whole < 1e-9, "{chunked} vs {whole}");
+        // bandwidth-bound at 1 GB: latency overhead is a small fraction
+        assert!((chunked - whole) / whole < 0.1);
+        assert_eq!(chunked_allreduce_time(&m(), s, 8, Wire::Inter, 1), whole);
+    }
+
+    #[test]
+    fn overlap_hides_the_shorter_leg() {
+        // comm-bound: compute disappears behind the pipeline
+        let t = overlapped_time(1.0, 4.0, 16);
+        assert!(t < 1.0 + 4.0);
+        assert!((t - (4.0 + 0.25)).abs() < 1e-12);
+        // blocking baseline serializes
+        assert_eq!(overlapped_time(1.0, 4.0, 1), 5.0);
+        // compute-bound: comm fully hidden except fill/drain
+        assert!((overlapped_time(4.0, 1.0, 10) - 4.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_fraction_clamps_and_scales() {
+        assert_eq!(overlap_fraction(5.0, 5.0, 2.0), 0.0);
+        assert_eq!(overlap_fraction(5.0, 3.0, 2.0), 1.0);
+        assert!((overlap_fraction(5.0, 4.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(overlap_fraction(5.0, 1.0, 2.0), 1.0, "clamped");
+        assert_eq!(overlap_fraction(5.0, 6.0, 2.0), 0.0, "clamped");
     }
 }

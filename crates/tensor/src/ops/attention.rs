@@ -19,6 +19,7 @@
 //! are shape-derived and results are bitwise reproducible at any thread
 //! count.
 
+use crate::ops::elementwise::exp_fast;
 use crate::ops::gemm::{gemm_serial_or_small, Epilogue, GemmLayout};
 use crate::par;
 use crate::shape::Shape;
@@ -158,18 +159,20 @@ fn flash_fwd_tile(
         for (i, srow) in st.chunks_mut(bc).enumerate() {
             let row_max = srow.iter().fold(f32::NEG_INFINITY, |a, &x| a.max(x));
             if row_max > m[i] {
-                let corr = (m[i] - row_max).exp();
+                let corr = exp_fast(m[i] - row_max);
                 l[i] *= corr;
                 for o in out[i * d..(i + 1) * d].iter_mut() {
                     *o *= corr;
                 }
                 m[i] = row_max;
             }
-            let mut sum = 0.0f32;
+            // Polynomial exp in its own pass so the sweep vectorizes (a
+            // fused serial `sum +=` would block it); the separate sum
+            // keeps the same sequential order, so results are unchanged.
             for x in srow.iter_mut() {
-                *x = (*x - m[i]).exp();
-                sum += *x;
+                *x = exp_fast(*x - m[i]);
             }
+            let sum: f32 = srow.iter().sum();
             l[i] += sum;
         }
         // out += P_tile · V_tile.
@@ -313,8 +316,10 @@ fn recompute_p_tile(
     gemm_serial_or_small(GemmLayout::NT, scale, qt, kt, Epilogue::Assign, s, br, d, bc);
     for (i, srow) in s.chunks_mut(bc).enumerate() {
         let m = lse[i];
+        // exp_fast keeps the recompute sweep vectorized — this loop is the
+        // bulk of flash backward's extra FLOPs.
         for x in srow.iter_mut() {
-            *x = (*x - m).exp();
+            *x = exp_fast(*x - m);
         }
     }
 }

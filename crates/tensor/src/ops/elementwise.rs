@@ -117,6 +117,53 @@ pub fn tanh_fast(x: f32) -> f32 {
     p / q
 }
 
+/// Vectorizable exp: Cephes-style polynomial (the coefficient set classic
+/// `expf` implementations ship), accurate to ~1 ulp over the clamped
+/// domain.
+///
+/// Like `tanh`, libm `expf` is an opaque call that serializes every lane of
+/// a softmax or flash-attention sweep. This version reduces
+/// `x = n·ln2 + r` with the round-to-nearest magic-number trick (no `round`
+/// libm call), evaluates a degree-5 polynomial for `e^r` (Horner,
+/// FMA-contracted), and rebuilds `2^n` by exponent-field bit assembly — all
+/// straight-line arithmetic LLVM turns into 8-lane FMAs.
+///
+/// Domain: inputs are clamped to `[-87, 88]` (beyond which f32 `exp`
+/// under/overflows anyway); softmax feeds only `x − max ≤ 0`. NaN
+/// propagates.
+#[inline(always)]
+#[allow(clippy::excessive_precision)] // Cephes constants kept verbatim: LN2_HI must be the exactly-representable 0x3F318000
+pub fn exp_fast(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    // ln2 split hi/lo so `x − n·ln2` stays exact to f32 precision.
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // Round-to-nearest-even via the 1.5·2^23 magic constant: adding forces
+    // the integer into the mantissa, subtracting recovers it as a float.
+    const MAGIC: f32 = 12_582_912.0;
+    let x = x.clamp(-87.0, 88.0);
+    let n = (x * LOG2E + MAGIC) - MAGIC;
+    let r = n.mul_add(-LN2_HI, x);
+    let r = n.mul_add(-LN2_LO, r);
+    const P0: f32 = 1.987_569_2e-4;
+    const P1: f32 = 1.398_2e-3;
+    const P2: f32 = 8.333_452e-3;
+    const P3: f32 = 4.166_579_6e-2;
+    const P4: f32 = 1.666_666_6e-1;
+    const P5: f32 = 5.000_000_1e-1;
+    let p = r.mul_add(P0, P1);
+    let p = r.mul_add(p, P2);
+    let p = r.mul_add(p, P3);
+    let p = r.mul_add(p, P4);
+    let p = r.mul_add(p, P5);
+    let er = (p * r).mul_add(r, r) + 1.0;
+    // 2^n by exponent assembly; n ∈ [-126, 127] after the clamp, so the
+    // biased exponent stays in the normal range. (NaN takes `n as i32` = 0,
+    // scale 1, and propagates through `er`.)
+    let scale = f32::from_bits((((n as i32) + 127) as u32) << 23);
+    er * scale
+}
+
 /// GELU, tanh approximation (matches PyTorch `approximate="tanh"`).
 #[inline]
 pub fn gelu_scalar(x: f32) -> f32 {
@@ -243,6 +290,27 @@ mod tests {
         }
         assert_eq!(tanh_fast(0.0), 0.0);
         assert!(tanh_fast(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn exp_fast_matches_libm() {
+        // Dense sweep over the softmax-relevant range and the full domain.
+        let mut x = -87.0f32;
+        while x <= 88.0 {
+            let got = exp_fast(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= 2.5e-7 * want,
+                "exp_fast({x}) = {got} vs {want} (rel {})",
+                (got - want).abs() / want
+            );
+            x += 0.003_11;
+        }
+        assert_eq!(exp_fast(0.0), 1.0);
+        assert!(exp_fast(f32::NAN).is_nan());
+        // Clamped tails stay finite and monotone-consistent.
+        assert!(exp_fast(-1000.0) > 0.0 && exp_fast(-1000.0) < 1e-37);
+        assert!(exp_fast(1000.0).is_finite());
     }
 
     #[test]

@@ -16,8 +16,8 @@ pub use attention::{
     naive_attention_peak_bytes, FLASH_BC, FLASH_BR,
 };
 pub use elementwise::{
-    add, add_bias, add_bias_gelu, add_bias_gelu_backward, add_scaled, add_scaled_into, gelu,
-    gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square, sub, tanh_fast,
+    add, add_bias, add_bias_gelu, add_bias_gelu_backward, add_scaled, add_scaled_into, exp_fast,
+    gelu, gelu_grad_scalar, gelu_scalar, mul, mul_last, scale, square, sub, tanh_fast,
 };
 pub use fused::{linear_gelu, matmul_bias, softmax_pool, softmax_pool_backward};
 pub use gemm::{

@@ -23,6 +23,13 @@ impl ParamId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Rebuild an id from [`index`](ParamId::index) — for sharded-store
+    /// bookkeeping (e.g. FSDP prefetching "the parameter after `i`").
+    #[inline]
+    pub fn from_index(i: usize) -> ParamId {
+        ParamId(i)
+    }
 }
 
 struct Slot {
