@@ -396,6 +396,32 @@ fn emit_collectives_json(_c: &mut Criterion) {
         measured_wire_bytes(4)
     ));
 
+    // α-β-derived bucket/chunk sizes (what `DdpBinder::new` /
+    // `apply_adaptive_comm_sizing` pick) next to the fixed fallbacks, so
+    // the planner's choices are auditable per host. Derivation only — the
+    // measured scenarios above keep the fixed chunk size for
+    // run-over-run comparability.
+    {
+        let total = 30_000_000usize; // ~30M-param reference model
+        let mut fields = Vec::new();
+        for &world in &[2usize, 4, 8] {
+            let bucket = dchag_parallel::adaptive_bucket_elems(total, world);
+            let machine = dchag_perf::MachineSpec::frontier();
+            let wire = dchag_perf::comm::wire_for_group(&machine, world, true);
+            let chunk =
+                dchag_perf::comm::optimal_chunk_elems(&machine, bucket as f64 * 4.0, world, wire);
+            fields.push(format!(
+                "\"bucket_elems_30M_w{world}\": {bucket}, \"chunk_elems_w{world}\": {chunk}"
+            ));
+        }
+        lines.push(format!(
+            "\"adaptive_sizing\": {{ {}, \"fixed_bucket_elems\": {}, \"fixed_chunk_elems\": {} }}",
+            fields.join(", "),
+            dchag_parallel::dp::DDP_BUCKET_ELEMS,
+            dchag_collectives::COMM_CHUNK_ELEMS,
+        ));
+    }
+
     let mut body = String::from("{\n");
     for (i, l) in lines.iter().enumerate() {
         let comma = if i + 1 == lines.len() { "" } else { "," };

@@ -241,12 +241,25 @@ fn bench_fusion(c: &mut Criterion) {
         bench.iter(|| black_box(ops::add_bias_gelu(&h, &bias)))
     });
 
-    // Linear: matmul then bias pass vs bias folded into the GEMM output.
+    // Linear forward: seed GEMM + bias pass vs bias folded into the GEMM
+    // epilogue. The seed kernels are the baseline — comparing against
+    // `ops::matmul` + `add_bias` would measure the (noise-level) saving of
+    // one broadcast pass against this repo's own blocked GEMM, which is
+    // how the old entry pinned itself at 1.00×.
     let xm = Tensor::randn([256, 256], 1.0, &mut rng);
     let w = Tensor::randn([256, 256], 1.0, &mut rng);
     let wb = Tensor::randn([256], 1.0, &mut rng);
-    g.bench_function("matmul_bias_unfused_256", |bench| {
-        bench.iter(|| black_box(ops::add_bias(&ops::matmul(&xm, &w), &wb)))
+    g.bench_function("matmul_bias_seed_256", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; 256 * 256];
+            seed::gemm_nn(xm.data(), w.data(), &mut out, 256, 256, 256);
+            for row in out.chunks_mut(256) {
+                for (o, &b) in row.iter_mut().zip(wb.data()) {
+                    *o += b;
+                }
+            }
+            black_box(out)
+        })
     });
     g.bench_function("matmul_bias_fused_256", |bench| {
         bench.iter(|| black_box(ops::matmul_bias(&xm, &w, &wb)))
@@ -291,11 +304,13 @@ fn bench_fusion(c: &mut Criterion) {
 fn emit_kernels_json(_c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--test");
     let mut rng = Rng::new(31);
-    let mut entries: Vec<(String, f64, f64)> = Vec::new();
+    // (name, before_ns, after_ns, flops-per-call; 0 = no GFLOP/s entry)
+    let mut entries: Vec<(String, f64, f64, usize)> = Vec::new();
 
     for &n in &[64usize, 128, 256] {
         let a = Tensor::randn([n, n], 1.0, &mut rng);
         let b = Tensor::randn([n, n], 1.0, &mut rng);
+        let flops = 2 * n * n * n;
         let before = measure_ns(
             || {
                 let mut out = vec![0.0f32; n * n];
@@ -305,7 +320,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
             quick,
         );
         let after = measure_ns(|| { black_box(ops::matmul(&a, &b)); }, quick);
-        entries.push((format!("gemm_nn_{n}x{n}x{n}"), before, after));
+        entries.push((format!("gemm_nn_{n}x{n}x{n}"), before, after, flops));
         if n == 256 {
             let before = measure_ns(
                 || {
@@ -316,7 +331,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
                 quick,
             );
             let after = measure_ns(|| { black_box(ops::matmul_nt(&a, &b)); }, quick);
-            entries.push((format!("gemm_nt_{n}x{n}x{n}"), before, after));
+            entries.push((format!("gemm_nt_{n}x{n}x{n}"), before, after, flops));
             let before = measure_ns(
                 || {
                     let mut out = vec![0.0f32; n * n];
@@ -326,7 +341,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
                 quick,
             );
             let after = measure_ns(|| { black_box(ops::matmul_tn(&a, &b)); }, quick);
-            entries.push((format!("gemm_tn_{n}x{n}x{n}"), before, after));
+            entries.push((format!("gemm_tn_{n}x{n}x{n}"), before, after, flops));
         }
     }
 
@@ -335,7 +350,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
     let beta = Tensor::zeros([256]);
     let before = measure_ns(|| { black_box(seed_layernorm(&x, &gamma, &beta)); }, quick);
     let after = measure_ns(|| { black_box(ops::layernorm(&x, &gamma, &beta)); }, quick);
-    entries.push(("layernorm_512x256".into(), before, after));
+    entries.push(("layernorm_512x256".into(), before, after, 0));
 
     let h = Tensor::randn([512, 512], 1.0, &mut rng);
     let bias = Tensor::randn([512], 1.0, &mut rng);
@@ -348,14 +363,30 @@ fn emit_kernels_json(_c: &mut Criterion) {
         quick,
     );
     let after = measure_ns(|| { black_box(ops::add_bias_gelu(&h, &bias)); }, quick);
-    entries.push(("add_bias_gelu_512x512".into(), before, after));
+    entries.push(("add_bias_gelu_512x512".into(), before, after, 0));
 
+    // Fused Linear forward vs the seed GEMM + bias pass (the seed kernels
+    // are every entry's baseline; the pre-SIMD version of this entry
+    // compared against this repo's own blocked `ops::matmul`, which is why
+    // it sat at speedup 1.00).
     let xm = Tensor::randn([256, 256], 1.0, &mut rng);
     let w = Tensor::randn([256, 256], 1.0, &mut rng);
     let wb = Tensor::randn([256], 1.0, &mut rng);
-    let before = measure_ns(|| { black_box(ops::add_bias(&ops::matmul(&xm, &w), &wb)); }, quick);
+    let before = measure_ns(
+        || {
+            let mut out = vec![0.0f32; 256 * 256];
+            seed::gemm_nn(xm.data(), w.data(), &mut out, 256, 256, 256);
+            for row in out.chunks_mut(256) {
+                for (o, &b) in row.iter_mut().zip(wb.data()) {
+                    *o += b;
+                }
+            }
+            black_box(&out);
+        },
+        quick,
+    );
     let after = measure_ns(|| { black_box(ops::matmul_bias(&xm, &w, &wb)); }, quick);
-    entries.push(("matmul_bias_256".into(), before, after));
+    entries.push(("matmul_bias_256".into(), before, after, 2 * 256 * 256 * 256));
 
     // Vectorized exp: the seed softmax's libm expf sweep vs exp_fast.
     let sm = Tensor::randn([256, 128], 3.0, &mut rng);
@@ -368,7 +399,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
         quick,
     );
     let after = measure_ns(|| { black_box(ops::softmax_last(&sm)); }, quick);
-    entries.push(("softmax_exp_256x128".into(), before, after));
+    entries.push(("softmax_exp_256x128".into(), before, after, 0));
 
     let (n, ch, d) = (1024usize, 16usize, 64usize);
     let y = Tensor::randn([n, ch, d], 1.0, &mut rng);
@@ -382,7 +413,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
         quick,
     );
     let after = measure_ns(|| { black_box(ops::softmax_pool(&y, &pw)); }, quick);
-    entries.push(("softmax_pool_1024x16x64".into(), before, after));
+    entries.push(("softmax_pool_1024x16x64".into(), before, after, 0));
 
     // Attention: naive composed chain (before) vs flash (after), wall time
     // plus an analytic peak-resident-bytes estimate per variant.
@@ -405,9 +436,16 @@ fn emit_kernels_json(_c: &mut Criterion) {
     }
 
     let mut body = String::from("{\n");
-    for (name, before, after) in entries.iter() {
+    for (name, before, after, flops) in entries.iter() {
+        // Effective GFLOP/s of the "after" kernel, so BENCH entries are
+        // comparable across hosts independent of wall-clock.
+        let gflops = if *flops > 0 {
+            format!(", \"gflops\": {:.1}", *flops as f64 / after)
+        } else {
+            String::new()
+        };
         body.push_str(&format!(
-            "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2} }},\n",
+            "    \"{name}\": {{ \"before_ns\": {before:.0}, \"after_ns\": {after:.0}, \"speedup\": {:.2}{gflops} }},\n",
             before / after
         ));
     }
@@ -428,17 +466,28 @@ fn emit_kernels_json(_c: &mut Criterion) {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
     };
-    let desc = "Seed scalar kernels (before) vs cache-blocked GEMM + fused transformer kernels \
-                (after); ns per call, median. attention_* entries compare the naive \
-                bmm_nt_scaled->softmax->bmm chain against the tiled online-softmax flash kernel, \
-                with analytic peak-resident-bytes per variant. The collectives section \
-                (maintained by `cargo bench --bench collectives`) compares blocking vs pipelined \
-                chunked collectives and reports the measured comm/compute overlap fraction.";
+    let desc = "Seed scalar kernels (before) vs explicit-SIMD blocked GEMM + fused transformer \
+                kernels (after); ns per call, median; gflops = effective after-side GFLOP/s. The \
+                simd section records the runtime-detected ISA the after numbers ran on. \
+                attention_* entries compare the naive bmm_nt_scaled->softmax->bmm chain against \
+                the tiled online-softmax flash kernel, with analytic peak-resident-bytes per \
+                variant. The collectives section (maintained by `cargo bench --bench \
+                collectives`) compares blocking vs pipelined chunked collectives, reports the \
+                measured comm/compute overlap fraction, and records the alpha-beta-derived \
+                adaptive bucket/chunk sizes next to the fixed fallbacks.";
+    let isa = dchag_tensor::simd::active_isa();
+    let (mr, nr) = dchag_tensor::simd::gemm_tile_shape(isa);
+    let simd = format!(
+        "{{ \"isa\": \"{}\", \"gemm_micro_tile\": \"{mr}x{nr}\", \"threads\": {} }}",
+        isa.name(),
+        rayon::current_num_threads()
+    );
     update_sections(
         std::path::Path::new(path),
         &[
             ("description", format!("\"{desc}\"")),
             ("quick_mode", format!("{quick}")),
+            ("simd", simd),
             ("kernels", body),
         ],
     );

@@ -46,7 +46,32 @@ use crate::traffic::{ChunkEvent, CollOp, TrafficLog};
 /// splits into several overlappable stages, large enough that the per-chunk
 /// claim/stamp overhead is noise. Part of the shape-derived schedule — do
 /// not make this depend on thread count.
+///
+/// This is the **fixed fallback**; a planner that knows the fabric's α-β
+/// parameters can install a derived value via [`set_comm_chunk_elems`]
+/// (see `dchag_perf::comm::optimal_chunk_elems` and the installer in
+/// `dchag_parallel`).
 pub const COMM_CHUNK_ELEMS: usize = 16 * 1024;
+
+/// Process-wide pipeline chunk size, defaulting to [`COMM_CHUNK_ELEMS`].
+static CHUNK_ELEMS: AtomicUsize = AtomicUsize::new(COMM_CHUNK_ELEMS);
+
+/// Elements per pipeline chunk currently in force for new collectives.
+pub fn comm_chunk_elems() -> usize {
+    CHUNK_ELEMS.load(Ordering::Relaxed)
+}
+
+/// Install an α-β-derived pipeline chunk size (in f32 elements, clamped to
+/// ≥ 1); returns the previous value so tests and planners can restore it.
+///
+/// The value is read **once per collective**, when the last depositing rank
+/// freezes the chunk schedule, so every rank of a round sees the same
+/// schedule regardless of when the planner ran. Chunk boundaries never
+/// change reduction results (reduction is elementwise in rank order), only
+/// pipeline granularity.
+pub fn set_comm_chunk_elems(elems: usize) -> usize {
+    CHUNK_ELEMS.swap(elems.max(1), Ordering::Relaxed)
+}
 
 /// Which collective a round performs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -318,6 +343,10 @@ fn validate_contribution(kind: CollKind, group: usize, existing: &[Option<Tensor
 /// Build the shape-derived chunk schedule and the output buffer; publish the
 /// round as runnable. Called under the engine lock by the last depositor.
 fn freeze(round: &Arc<Round>, contribs: Vec<Tensor>, ready_us: f64) {
+    // One read per round: every rank that helps run this collective works
+    // off the schedule frozen here, so a planner swapping the chunk size
+    // concurrently can never split one round across two granularities.
+    let chunk_elems = comm_chunk_elems();
     let mut chunks = Vec::new();
     let mut gather_offsets = Vec::new();
     let out_len = match round.kind {
@@ -325,7 +354,7 @@ fn freeze(round: &Arc<Round>, contribs: Vec<Tensor>, ready_us: f64) {
             let numel = contribs[0].numel();
             let mut off = 0;
             while off < numel {
-                let len = COMM_CHUNK_ELEMS.min(numel - off);
+                let len = chunk_elems.min(numel - off);
                 chunks.push(Chunk { src: 0, src_off: off, dst_off: off, len });
                 off += len;
             }
@@ -338,7 +367,7 @@ fn freeze(round: &Arc<Round>, contribs: Vec<Tensor>, ready_us: f64) {
                 let numel = c.numel();
                 let mut off = 0;
                 while off < numel {
-                    let len = COMM_CHUNK_ELEMS.min(numel - off);
+                    let len = chunk_elems.min(numel - off);
                     chunks.push(Chunk { src: r, src_off: off, dst_off: base + off, len });
                     off += len;
                 }
@@ -580,6 +609,10 @@ mod tests {
     use super::*;
     use crate::launch::run_ranks;
 
+    /// Serializes tests that read or write the process-wide chunk size
+    /// (cargo runs tests concurrently in one process).
+    static CHUNK_CFG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn iall_reduce_matches_blocking_across_chunk_boundaries() {
         // 40_000 elements = 3 chunks (2 full + 1 partial).
@@ -714,7 +747,33 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_chunk_size_reshapes_schedule_and_restores() {
+        let _guard = CHUNK_CFG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(comm_chunk_elems(), COMM_CHUNK_ELEMS, "default is the fixed constant");
+        let prev = set_comm_chunk_elems(4096);
+        assert_eq!(prev, COMM_CHUNK_ELEMS);
+        let run = run_ranks(2, |ctx| {
+            let n = 4096 * 3 + 5; // 4 chunks under the installed size
+            let req = ctx.comm.iall_reduce_sum(&Tensor::full([n], 1.0));
+            let out = req.wait();
+            ctx.comm.barrier();
+            (out.data().iter().all(|&x| x == 2.0), ctx.comm.traffic().chunk_events().len())
+        });
+        set_comm_chunk_elems(prev);
+        for (ok, chunks) in run.outputs {
+            assert!(ok, "reduction unchanged by chunk granularity");
+            assert_eq!(chunks, 4);
+        }
+        // Degenerate install is clamped, never zero.
+        let prev = set_comm_chunk_elems(0);
+        assert_eq!(comm_chunk_elems(), 1);
+        set_comm_chunk_elems(prev);
+        assert_eq!(comm_chunk_elems(), COMM_CHUNK_ELEMS);
+    }
+
+    #[test]
     fn chunk_events_stamped_once_per_chunk() {
+        let _guard = CHUNK_CFG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let run = run_ranks(2, |ctx| {
             let n = COMM_CHUNK_ELEMS * 2 + 7; // 3 chunks
             let req = ctx.comm.iall_reduce_sum(&Tensor::ones([n]));

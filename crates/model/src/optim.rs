@@ -80,27 +80,26 @@ impl AdamW {
 
             // Fused single-sweep update: moments and parameter mutate their
             // own (uniquely owned) buffers instead of allocating three
-            // fresh tensors per parameter per step.
+            // fresh tensors per parameter per step. The sweep itself is the
+            // runtime-dispatched SIMD kernel (`dchag_tensor::simd`), so the
+            // whole update is lane-parallel with no per-element libm sqrt.
             let decay = if shape.ndim() >= 2 { self.weight_decay } else { 0.0 };
-            let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+            let coeffs = dchag_tensor::simd::AdamParams {
+                beta1: self.beta1,
+                beta2: self.beta2,
+                bias_c1: bc1,
+                bias_c2: bc2,
+                lr: self.lr,
+                eps: self.eps,
+                weight_decay: decay,
+            };
             let mut mdat = m_prev.into_data();
             let mut vdat = v_prev.into_data();
             let mut m_slot = None;
             let mut v_slot = None;
             store.update(id, |p| {
                 let mut pdat = p.into_data();
-                for (((x, mm), vv), &gg) in pdat
-                    .iter_mut()
-                    .zip(mdat.iter_mut())
-                    .zip(vdat.iter_mut())
-                    .zip(g.data())
-                {
-                    *mm = b1 * *mm + (1.0 - b1) * gg;
-                    *vv = b2 * *vv + (1.0 - b2) * gg * gg;
-                    let mhat = *mm / bc1;
-                    let vhat = *vv / bc2;
-                    *x -= lr * (mhat / (vhat.sqrt() + eps) + decay * *x);
-                }
+                dchag_tensor::simd::adamw_sweep(&mut pdat, &mut mdat, &mut vdat, g.data(), &coeffs);
                 m_slot = Some(Tensor::from_vec(mdat, shape.clone()));
                 v_slot = Some(Tensor::from_vec(vdat, shape.clone()));
                 Tensor::from_vec(pdat, shape.clone())

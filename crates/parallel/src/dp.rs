@@ -73,10 +73,49 @@ impl DataParallel {
     }
 }
 
-/// Default bucket size for the overlapped gradient sync: 1 MiB of f32 —
-/// 16 pipeline chunks per bucket, small enough that several buckets are in
-/// flight over a transformer backward.
+/// Fixed fallback bucket size for the overlapped gradient sync: 1 MiB of
+/// f32 — 16 pipeline chunks per bucket, small enough that several buckets
+/// are in flight over a transformer backward. [`DdpBinder::new`] prefers
+/// the α-β-derived size from [`adaptive_bucket_elems`]; this constant is
+/// the degenerate-input fallback and the `with_bucket` escape hatch.
 pub const DDP_BUCKET_ELEMS: usize = 256 * 1024;
+
+/// α-β-adaptive DDP bucket size for a model of `total_elems` parameters
+/// reduced across `world` ranks, from the Frontier interconnect model
+/// (`dchag_perf::comm::optimal_bucket_elems`): α-bound fabrics get larger
+/// buckets (latency amortized), bandwidth-bound ones smaller buckets (more
+/// overlap stages), capped so ≥ 8 buckets pipeline over a full backward.
+/// Falls back to [`DDP_BUCKET_ELEMS`] for degenerate inputs. Deterministic
+/// in `(total_elems, world)`, so every rank derives the same value — the
+/// SPMD invariant bucketing relies on.
+pub fn adaptive_bucket_elems(total_elems: usize, world: usize) -> usize {
+    if world <= 1 || total_elems == 0 {
+        return DDP_BUCKET_ELEMS;
+    }
+    let machine = dchag_perf::MachineSpec::frontier();
+    let wire = dchag_perf::comm::wire_for_group(&machine, world, true);
+    dchag_perf::comm::optimal_bucket_elems(&machine, total_elems, world, wire)
+}
+
+/// Derive and install the α-β comm sizes for this process: the DDP bucket
+/// for `(total_elems, world)` and, via
+/// [`dchag_collectives::set_comm_chunk_elems`], the pipeline chunk size a
+/// bucket-sized all-reduce wants. Returns `(bucket_elems, chunk_elems)` —
+/// also what the collectives bench records in `BENCH_kernels.json`. The
+/// fixed constants remain the fallback for anything the model cannot
+/// size (degenerate worlds, empty stores).
+pub fn apply_adaptive_comm_sizing(total_elems: usize, world: usize) -> (usize, usize) {
+    let bucket = adaptive_bucket_elems(total_elems, world);
+    let chunk = if world <= 1 {
+        dchag_collectives::COMM_CHUNK_ELEMS
+    } else {
+        let machine = dchag_perf::MachineSpec::frontier();
+        let wire = dchag_perf::comm::wire_for_group(&machine, world, true);
+        dchag_perf::comm::optimal_chunk_elems(&machine, bucket as f64 * 4.0, world, wire)
+    };
+    dchag_collectives::set_comm_chunk_elems(chunk);
+    (bucket, chunk)
+}
 
 struct InflightBucket {
     /// `(param index, dims)` in flatten order.
@@ -128,8 +167,13 @@ pub struct DdpBinder<'a> {
 }
 
 impl<'a> DdpBinder<'a> {
+    /// Bucket size derived from the α-β model for this store's total
+    /// parameter count and the communicator's world size
+    /// ([`adaptive_bucket_elems`]; identical on every rank). Use
+    /// [`with_bucket`](DdpBinder::with_bucket) to pin an explicit size.
     pub fn new(tape: &'a Tape, store: &'a ParamStore, comm: &Communicator) -> Self {
-        Self::with_bucket(tape, store, comm, DDP_BUCKET_ELEMS)
+        let bucket = adaptive_bucket_elems(store.num_params(), comm.size());
+        Self::with_bucket(tape, store, comm, bucket)
     }
 
     /// Explicit bucket size in f32 elements (must match across ranks).
@@ -219,6 +263,33 @@ mod tests {
     use super::*;
     use dchag_collectives::{run_ranks, CollOp};
     use dchag_tensor::Rng;
+
+    #[test]
+    fn adaptive_bucket_fallbacks_and_determinism() {
+        // Degenerate inputs fall back to the fixed constant.
+        assert_eq!(adaptive_bucket_elems(0, 8), DDP_BUCKET_ELEMS);
+        assert_eq!(adaptive_bucket_elems(10_000_000, 1), DDP_BUCKET_ELEMS);
+        // Real inputs: deterministic, bounded, and leaving several buckets
+        // in flight for a full-size model.
+        let total = 30_000_000;
+        let b = adaptive_bucket_elems(total, 8);
+        assert_eq!(b, adaptive_bucket_elems(total, 8), "SPMD: same on every rank");
+        assert!(b >= 64 * 1024 && total / b >= 3, "bucket {b}");
+    }
+
+    #[test]
+    fn apply_adaptive_sizing_installs_and_reports() {
+        let prev = dchag_collectives::comm_chunk_elems();
+        let (bucket, chunk) = apply_adaptive_comm_sizing(30_000_000, 8);
+        assert!(bucket > 0 && chunk > 0);
+        assert!(chunk <= bucket, "a bucket holds at least one chunk");
+        assert_eq!(dchag_collectives::comm_chunk_elems(), chunk, "installed");
+        // world ≤ 1: fixed chunk fallback installed.
+        let (b1, c1) = apply_adaptive_comm_sizing(30_000_000, 1);
+        assert_eq!(b1, DDP_BUCKET_ELEMS);
+        assert_eq!(c1, dchag_collectives::COMM_CHUNK_ELEMS);
+        dchag_collectives::set_comm_chunk_elems(prev);
+    }
 
     #[test]
     fn shard_batch_partitions_rows() {

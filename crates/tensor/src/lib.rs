@@ -20,6 +20,7 @@ pub(crate) mod par;
 pub mod param;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use autograd::{Grads, Tape, Var};

@@ -19,21 +19,25 @@
 //! are shape-derived and results are bitwise reproducible at any thread
 //! count.
 
-use crate::ops::elementwise::exp_fast;
 use crate::ops::gemm::{gemm_serial_or_small, Epilogue, GemmLayout};
 use crate::par;
+use crate::simd::{self, exp_fast};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Query rows resident per task: small enough that (batch·Q-tiles) still
 /// yields a deep task grid for ragged aggregation shapes, large enough to
-/// amortize the per-tile GEMM dispatch.
-pub const FLASH_BR: usize = 64;
-/// Key/value rows streamed per inner step. The `BR×BC` score tile (32 KiB)
-/// plus the Q tile stays L2-resident next to the GEMM pack buffers; the
-/// wider tile halves the per-step dispatch/repack overhead vs 64 and
-/// measured fastest of {64, 128, 256} at S ∈ {256, 512}.
-pub const FLASH_BC: usize = 128;
+/// amortize the per-tile GEMM dispatch. Retuned from 64 for the
+/// explicit-SIMD micro-kernels, whose higher FLOP rate shifts the balance
+/// toward packing overhead: each K/V panel pack is now amortized over
+/// twice the Q rows.
+pub const FLASH_BR: usize = 128;
+/// Key/value rows streamed per inner step. The `BR×BC` score tile
+/// (128 KiB) plus the Q tile stays L2-resident next to the GEMM pack
+/// buffers. (BR, BC) = (128, 256) measured fastest of
+/// {64, 128} × {128, 256} at S ∈ {256, 512} on the AVX-512 kernels
+/// (1.2× over the pre-SIMD (64, 128) tuning at S = 512).
+pub const FLASH_BC: usize = 256;
 
 fn attn_dims(q: &Tensor, k: &Tensor, v: &Tensor) -> (usize, usize, usize, usize) {
     assert_eq!(q.ndim(), 3, "flash_attention q must be [B, Sq, d], got {}", q.shape());
@@ -157,7 +161,7 @@ fn flash_fwd_tile(
         // Online-softmax update: rescale the running sum and the context
         // accumulator by exp(m_old − m_new), then exponentiate in place.
         for (i, srow) in st.chunks_mut(bc).enumerate() {
-            let row_max = srow.iter().fold(f32::NEG_INFINITY, |a, &x| a.max(x));
+            let row_max = simd::row_max(srow);
             if row_max > m[i] {
                 let corr = exp_fast(m[i] - row_max);
                 l[i] *= corr;
@@ -166,14 +170,11 @@ fn flash_fwd_tile(
                 }
                 m[i] = row_max;
             }
-            // Polynomial exp in its own pass so the sweep vectorizes (a
-            // fused serial `sum +=` would block it); the separate sum
-            // keeps the same sequential order, so results are unchanged.
-            for x in srow.iter_mut() {
-                *x = exp_fast(*x - m[i]);
-            }
-            let sum: f32 = srow.iter().sum();
-            l[i] += sum;
+            // Lane-parallel exp in its own pass, then the sum re-reads the
+            // cache-hot row with a fixed lane grouping (a fused serial
+            // `sum +=` would chain every lane through one accumulator).
+            simd::exp_sub_sweep(srow, m[i]);
+            l[i] += simd::row_sum(srow);
         }
         // out += P_tile · V_tile.
         gemm_serial_or_small(
@@ -315,12 +316,9 @@ fn recompute_p_tile(
 ) {
     gemm_serial_or_small(GemmLayout::NT, scale, qt, kt, Epilogue::Assign, s, br, d, bc);
     for (i, srow) in s.chunks_mut(bc).enumerate() {
-        let m = lse[i];
-        // exp_fast keeps the recompute sweep vectorized — this loop is the
-        // bulk of flash backward's extra FLOPs.
-        for x in srow.iter_mut() {
-            *x = exp_fast(*x - m);
-        }
+        // The SIMD exp sweep keeps the recompute lane-parallel — this loop
+        // is the bulk of flash backward's extra FLOPs.
+        simd::exp_sub_sweep(srow, lse[i]);
     }
 }
 
@@ -433,10 +431,18 @@ mod tests {
 
     #[test]
     fn forward_matches_naive_across_shapes() {
-        // S ∈ {1, 7, 64, 130}: degenerate, tiny, exactly one tile, and a
-        // non-tile-multiple spanning three tiles.
+        // S ∈ {1, 7, 64, 130, 520}: degenerate, tiny, sub-tile, a
+        // non-multiple spanning several Q tiles, and one spanning multiple
+        // K/V tiles (S > FLASH_BC) so the online-softmax streaming path
+        // runs.
         let mut rng = Rng::new(1);
-        for &(b, s, d) in &[(1usize, 1usize, 4usize), (2, 7, 8), (1, 64, 16), (2, 130, 8)] {
+        for &(b, s, d) in &[
+            (1usize, 1usize, 4usize),
+            (2, 7, 8),
+            (1, 64, 16),
+            (2, 130, 8),
+            (1, 520, 8),
+        ] {
             let q = randn3(b, s, d, &mut rng);
             let k = randn3(b, s, d, &mut rng);
             let v = randn3(b, s, d, &mut rng);
@@ -456,7 +462,7 @@ mod tests {
     #[test]
     fn cross_attention_sq_ne_sk_matches_naive() {
         let mut rng = Rng::new(2);
-        for &(sq, sk) in &[(3usize, 130usize), (130, 7), (65, 64), (1, 200)] {
+        for &(sq, sk) in &[(3usize, 130usize), (130, 7), (65, 64), (1, 200), (130, 520)] {
             let q = randn3(2, sq, 8, &mut rng);
             let k = randn3(2, sk, 8, &mut rng);
             let v = randn3(2, sk, 8, &mut rng);
@@ -533,7 +539,7 @@ mod tests {
     fn backward_matches_composed_autograd() {
         use crate::autograd::Tape;
         let mut rng = Rng::new(6);
-        for &(sq, sk, d) in &[(7usize, 7usize, 4usize), (5, 130, 8), (70, 3, 8)] {
+        for &(sq, sk, d) in &[(7usize, 7usize, 4usize), (5, 130, 8), (70, 3, 8), (9, 300, 4)] {
             let q = randn3(2, sq, d, &mut rng);
             let k = randn3(2, sk, d, &mut rng);
             let v = randn3(2, sk, d, &mut rng);

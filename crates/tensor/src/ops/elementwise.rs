@@ -77,98 +77,12 @@ pub fn mul_last(a: &Tensor, gain: &Tensor) -> Tensor {
     Tensor::from_vec(out, a.shape().clone())
 }
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_C: f32 = 0.044_715;
+// The scalar polynomial kernels (and their lane-parallel SIMD twins) live
+// in the explicit-SIMD core; re-exported here so `ops::exp_fast` etc. keep
+// their historical paths.
+pub use crate::simd::{exp_fast, gelu_scalar, tanh_fast};
 
-/// Vectorizable tanh: Cephes-style rational approximation (the coefficient
-/// set Eigen ships), accurate to a few f32 ulps over the clamped domain.
-///
-/// `f32::tanh` is an opaque libm call, so a GELU loop built on it can never
-/// auto-vectorize — the call serializes every lane. Hoisting the tanh into
-/// this odd-polynomial-over-even-polynomial form (Horner, FMA-contracted)
-/// lets LLVM turn the whole activation sweep into 8-lane FMAs plus one
-/// vector divide.
-#[inline(always)]
-pub fn tanh_fast(x: f32) -> f32 {
-    // tanh saturates to ±1 in f32 past ~7.9; clamping there also bounds the
-    // polynomial's valid domain. NaN propagates through clamp → p/q.
-    let x = x.clamp(-7.905, 7.905);
-    let x2 = x * x;
-    const A1: f32 = 4.893_525_5e-3;
-    const A3: f32 = 6.372_619_3e-4;
-    const A5: f32 = 1.485_722_4e-5;
-    const A7: f32 = 5.122_297_1e-8;
-    const A9: f32 = -8.604_672e-11;
-    const A11: f32 = 2.000_188e-13;
-    const A13: f32 = -2.760_768_5e-16;
-    const B0: f32 = 4.893_525e-3;
-    const B2: f32 = 2.268_434_6e-3;
-    const B4: f32 = 1.185_347_1e-4;
-    const B6: f32 = 1.198_258_4e-6;
-    let p = x2.mul_add(A13, A11);
-    let p = x2.mul_add(p, A9);
-    let p = x2.mul_add(p, A7);
-    let p = x2.mul_add(p, A5);
-    let p = x2.mul_add(p, A3);
-    let p = x * x2.mul_add(p, A1);
-    let q = x2.mul_add(B6, B4);
-    let q = x2.mul_add(q, B2);
-    let q = x2.mul_add(q, B0);
-    p / q
-}
-
-/// Vectorizable exp: Cephes-style polynomial (the coefficient set classic
-/// `expf` implementations ship), accurate to ~1 ulp over the clamped
-/// domain.
-///
-/// Like `tanh`, libm `expf` is an opaque call that serializes every lane of
-/// a softmax or flash-attention sweep. This version reduces
-/// `x = n·ln2 + r` with the round-to-nearest magic-number trick (no `round`
-/// libm call), evaluates a degree-5 polynomial for `e^r` (Horner,
-/// FMA-contracted), and rebuilds `2^n` by exponent-field bit assembly — all
-/// straight-line arithmetic LLVM turns into 8-lane FMAs.
-///
-/// Domain: inputs are clamped to `[-87, 88]` (beyond which f32 `exp`
-/// under/overflows anyway); softmax feeds only `x − max ≤ 0`. NaN
-/// propagates.
-#[inline(always)]
-#[allow(clippy::excessive_precision)] // Cephes constants kept verbatim: LN2_HI must be the exactly-representable 0x3F318000
-pub fn exp_fast(x: f32) -> f32 {
-    const LOG2E: f32 = std::f32::consts::LOG2_E;
-    // ln2 split hi/lo so `x − n·ln2` stays exact to f32 precision.
-    const LN2_HI: f32 = 0.693_359_375;
-    const LN2_LO: f32 = -2.121_944_4e-4;
-    // Round-to-nearest-even via the 1.5·2^23 magic constant: adding forces
-    // the integer into the mantissa, subtracting recovers it as a float.
-    const MAGIC: f32 = 12_582_912.0;
-    let x = x.clamp(-87.0, 88.0);
-    let n = (x * LOG2E + MAGIC) - MAGIC;
-    let r = n.mul_add(-LN2_HI, x);
-    let r = n.mul_add(-LN2_LO, r);
-    const P0: f32 = 1.987_569_2e-4;
-    const P1: f32 = 1.398_2e-3;
-    const P2: f32 = 8.333_452e-3;
-    const P3: f32 = 4.166_579_6e-2;
-    const P4: f32 = 1.666_666_6e-1;
-    const P5: f32 = 5.000_000_1e-1;
-    let p = r.mul_add(P0, P1);
-    let p = r.mul_add(p, P2);
-    let p = r.mul_add(p, P3);
-    let p = r.mul_add(p, P4);
-    let p = r.mul_add(p, P5);
-    let er = (p * r).mul_add(r, r) + 1.0;
-    // 2^n by exponent assembly; n ∈ [-126, 127] after the clamp, so the
-    // biased exponent stays in the normal range. (NaN takes `n as i32` = 0,
-    // scale 1, and propagates through `er`.)
-    let scale = f32::from_bits((((n as i32) + 127) as u32) << 23);
-    er * scale
-}
-
-/// GELU, tanh approximation (matches PyTorch `approximate="tanh"`).
-#[inline]
-pub fn gelu_scalar(x: f32) -> f32 {
-    0.5 * x * (1.0 + tanh_fast(SQRT_2_OVER_PI * (x + GELU_C * x * x * x)))
-}
+use crate::simd::{GELU_C, SQRT_2_OVER_PI};
 
 /// d/dx of the tanh-approximated GELU.
 #[inline]
@@ -179,10 +93,12 @@ pub fn gelu_grad_scalar(x: f32) -> f32 {
     0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x)
 }
 
-/// GELU over a tensor: `Tensor::map` chunks the sweep through the pool and
-/// the inner loop (polynomial tanh, no libm) auto-vectorizes.
+/// GELU over a tensor: the sweep chunks through the pool and each chunk
+/// runs the runtime-dispatched SIMD kernel ([`crate::simd::gelu_sweep`]).
 pub fn gelu(a: &Tensor) -> Tensor {
-    a.map(gelu_scalar)
+    let mut out = a.to_vec();
+    crate::par::for_each_chunk(&mut out, crate::simd::gelu_sweep);
+    Tensor::from_vec(out, a.shape().clone())
 }
 
 /// Fused bias + GELU: `y = gelu(a + bias)` in one sweep.
@@ -204,9 +120,7 @@ pub fn add_bias_gelu(a: &Tensor, bias: &Tensor) -> (Tensor, Tensor) {
         for (h, &bb) in h_row.iter_mut().zip(b) {
             *h += bb;
         }
-        for (y, &h) in y_row.iter_mut().zip(h_row.iter()) {
-            *y = gelu_scalar(h);
-        }
+        crate::simd::gelu_into(h_row, y_row);
     });
     (
         Tensor::from_vec(out, a.shape().clone()),

@@ -11,7 +11,6 @@
 //!   `[N,1,C]` weights / `[N,1,D]` pooled as separate batched-matmul
 //!   tensors.
 
-use crate::ops::elementwise::gelu_scalar;
 use crate::ops::gemm::{gemm, gemm_bias, GemmLayout};
 use crate::ops::reduce::softmax_last;
 use crate::par;
@@ -54,9 +53,7 @@ pub fn linear_gelu(a: &Tensor, w: &Tensor, bias: &Tensor) -> (Tensor, Tensor) {
     gemm_bias(GemmLayout::NN, 1.0, a.data(), w.data(), bias.data(), &mut h, m, k, n);
     let mut y = vec![0.0f32; h.len()];
     par::for_each_row_zip(&mut y, n, &mut h, n, |_, y_row, h_row| {
-        for (yv, &hv) in y_row.iter_mut().zip(h_row.iter()) {
-            *yv = gelu_scalar(hv);
-        }
+        crate::simd::gelu_into(h_row, y_row);
     });
     let mut out_dims = a.dims().to_vec();
     *out_dims.last_mut().unwrap() = n;

@@ -22,11 +22,15 @@
 //!       for jr, ir: MR×NR register micro-tile, k-major accumulation
 //! ```
 //!
-//! The micro-kernel is written over fixed-size `[f32; 8]` windows so LLVM
-//! auto-vectorizes it (one 8-lane FMA per accumulator row half, with the
-//! a-element broadcast folded into the FMA's memory operand) — no `unsafe`
-//! and no explicit intrinsics in the kernel itself. See the `MR`/`NR`
-//! constants for how the tile shape is derived from register arithmetic.
+//! The micro-kernel is the explicit-SIMD register kernel in
+//! [`crate::simd`], selected once per process by runtime ISA detection
+//! (AVX-512 8×32 accumulator, AVX2+FMA 6×16, or the safe auto-vectorized
+//! scalar fallback — see `simd.rs` for the dispatch strategy and register
+//! arithmetic). The micro-tile shape `(MR, NR)` is therefore a *runtime*
+//! value ([`crate::simd::gemm_tile_shape`]); packing and the blocked loops
+//! below are parameterized on it, and the store epilogue
+//! ([`Epilogue`] → [`crate::simd::MicroEpi`]) is fused into the
+//! micro-kernel's register stores.
 //!
 //! Parallelism is two-dimensional over (row-block × column-block) tiles of
 //! C, each task packing its own panels into thread-local buffers, with a
@@ -40,30 +44,17 @@ use std::cell::RefCell;
 use rayon::prelude::*;
 
 use crate::shape::Shape;
+use crate::simd::{self, Isa, MicroEpi};
 use crate::tensor::Tensor;
 
-/// Register micro-tile rows (per packed A micro-panel).
-const MR: usize = 6;
-/// Register micro-tile columns (per packed B micro-panel), processed as
-/// two [`NRH`]-wide vector halves.
-///
-/// The 6×16 shape is chosen from register arithmetic: 12 accumulator
-/// vectors + 2 B vectors + 1 broadcast temp = 15, fitting the 16
-/// architectural vector registers, and each A-element broadcast (a load
-/// µop) feeds two FMAs, so the kernel is FMA-port-bound rather than
-/// load-port-bound. Bigger accumulators (8×16, 12×8) spill: LLVM stops
-/// promoting aggregates past ~64 floats.
-const NR: usize = 16;
-/// Vector half-width: one 8-lane (256-bit) FMA. LLVM's SLP vectorizer
-/// reliably turns an 8-wide fixed loop into a full-width FMA; flat 16- or
-/// 32-wide loops scalarize.
-const NRH: usize = 8;
-/// Rows per packed A panel (MC×KC ≈ 128 KiB, streams through L2).
+/// Rows per packed A panel (MC×KC ≈ 128 KiB, streams through L2). A
+/// multiple of every ISA's micro-tile rows (6 and 8).
 const MC: usize = 120;
 /// Depth per packed panel pair.
 const KC: usize = 256;
 /// Columns per packed B panel (KC×NC ≈ 256 KiB; the hot KC×NR strip the
-/// micro-kernel reads stays L1-resident).
+/// micro-kernel reads stays L1-resident). A multiple of every ISA's
+/// micro-tile columns (16 and 32).
 const NC: usize = 256;
 
 /// Below this many multiply-adds (`m·n·k`) the whole product runs
@@ -118,10 +109,11 @@ impl GemmLayout {
 // Packing
 // ---------------------------------------------------------------------------
 
-/// Pack `A[ic..ic+mc, pc..pc+kc]` (logical m×k indexing) into MR-interleaved
-/// micro-panels: panel `r` holds rows `ic+r·MR..` stored k-major, i.e.
-/// `buf[r·MR·kc + p·MR + i] = α · a(ic + r·MR + i, pc + p)`, zero-padded to
-/// a full MR rows.
+/// Pack `A[ic..ic+mc, pc..pc+kc]` (logical m×k indexing) into
+/// `mr`-interleaved micro-panels for the active ISA: panel `r` holds rows
+/// `ic+r·mr..` stored k-major, i.e.
+/// `buf[r·mr·kc + p·mr + i] = α · a(ic + r·mr + i, pc + p)`, zero-padded to
+/// a full `mr` rows.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
     layout: GemmLayout,
@@ -133,20 +125,21 @@ fn pack_a(
     mc: usize,
     pc: usize,
     kc: usize,
+    mr: usize,
     buf: &mut [f32],
 ) {
-    let panels = mc.div_ceil(MR);
-    debug_assert!(buf.len() >= panels * MR * kc);
+    let panels = mc.div_ceil(mr);
+    debug_assert!(buf.len() >= panels * mr * kc);
     for r in 0..panels {
-        let row0 = ic + r * MR;
-        let rows = MR.min(ic + mc - row0);
-        let panel = &mut buf[r * MR * kc..(r + 1) * MR * kc];
+        let row0 = ic + r * mr;
+        let rows = mr.min(ic + mc - row0);
+        let panel = &mut buf[r * mr * kc..(r + 1) * mr * kc];
         if layout.a_transposed() {
             // a is [k, m]: a(i, p) = a[p*m + i] — source rows are contiguous
             // in the pack destination order, so copy p-major.
             for p in 0..kc {
                 let src = &a[(pc + p) * m + row0..(pc + p) * m + row0 + rows];
-                let dst = &mut panel[p * MR..p * MR + MR];
+                let dst = &mut panel[p * mr..p * mr + mr];
                 dst[..rows].copy_from_slice(src);
                 dst[rows..].fill(0.0);
                 for v in dst[..rows].iter_mut() {
@@ -156,7 +149,7 @@ fn pack_a(
         } else {
             // a is [m, k]: a(i, p) = a[i*k + p].
             for p in 0..kc {
-                let dst = &mut panel[p * MR..p * MR + MR];
+                let dst = &mut panel[p * mr..p * mr + mr];
                 for i in 0..rows {
                     dst[i] = alpha * a[(row0 + i) * k + pc + p];
                 }
@@ -166,9 +159,10 @@ fn pack_a(
     }
 }
 
-/// Pack `B[pc..pc+kc, jc..jc+nc]` (logical k×n indexing) into NR-interleaved
-/// micro-panels: `buf[c·NR·kc + p·NR + j] = b(pc + p, jc + c·NR + j)`,
-/// zero-padded to a full NR columns.
+/// Pack `B[pc..pc+kc, jc..jc+nc]` (logical k×n indexing) into
+/// `nr`-interleaved micro-panels:
+/// `buf[c·nr·kc + p·nr + j] = b(pc + p, jc + c·nr + j)`, zero-padded to a
+/// full `nr` columns.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     layout: GemmLayout,
@@ -179,18 +173,19 @@ fn pack_b(
     kc: usize,
     jc: usize,
     nc: usize,
+    nr: usize,
     buf: &mut [f32],
 ) {
-    let panels = nc.div_ceil(NR);
-    debug_assert!(buf.len() >= panels * NR * kc);
+    let panels = nc.div_ceil(nr);
+    debug_assert!(buf.len() >= panels * nr * kc);
     for c in 0..panels {
-        let col0 = jc + c * NR;
-        let cols = NR.min(jc + nc - col0);
-        let panel = &mut buf[c * NR * kc..(c + 1) * NR * kc];
+        let col0 = jc + c * nr;
+        let cols = nr.min(jc + nc - col0);
+        let panel = &mut buf[c * nr * kc..(c + 1) * nr * kc];
         if layout.b_transposed() {
             // b is [n, k]: b(p, j) = b[j*k + p].
             for p in 0..kc {
-                let dst = &mut panel[p * NR..p * NR + NR];
+                let dst = &mut panel[p * nr..p * nr + nr];
                 for j in 0..cols {
                     dst[j] = b[(col0 + j) * k + pc + p];
                 }
@@ -200,64 +195,12 @@ fn pack_b(
             // b is [k, n]: b(p, j) = b[p*n + j] — contiguous source rows.
             for p in 0..kc {
                 let src = &b[(pc + p) * n + col0..(pc + p) * n + col0 + cols];
-                let dst = &mut panel[p * NR..p * NR + NR];
+                let dst = &mut panel[p * nr..p * nr + nr];
                 dst[..cols].copy_from_slice(src);
                 dst[cols..].fill(0.0);
             }
         }
     }
-}
-
-// ---------------------------------------------------------------------------
-// Micro-kernel
-// ---------------------------------------------------------------------------
-
-/// `acc[MR][NR] += Ap(MR×kc) · Bp(kc×NR)` over packed micro-panels.
-///
-/// The fixed-size array windows let LLVM keep `acc` in registers and turn
-/// the inner `j` loop into one 8-lane FMA per `i` — verified against the
-/// seed scalar kernel in `benches/kernels.rs` (`gemm_blocking` group).
-#[inline(always)]
-fn microkernel(kc: usize, ap: &[f32], bp: &[f32]) -> ([[f32; NRH]; MR], [[f32; NRH]; MR]) {
-    #[inline(always)]
-    fn step(acc0: &mut [[f32; NRH]; MR], acc1: &mut [[f32; NRH]; MR], a: &[f32], b: &[f32]) {
-        let a: &[f32; MR] = a.try_into().unwrap();
-        let b0: &[f32; NRH] = b[..NRH].try_into().unwrap();
-        let b1: &[f32; NRH] = b[NRH..NR].try_into().unwrap();
-        for i in 0..MR {
-            let ai = a[i];
-            for j in 0..NRH {
-                // `mul_add` lowers to a hardware FMA once the j-loop
-                // vectorizes (Rust never contracts `a*b + c` on its own).
-                acc0[i][j] = ai.mul_add(b0[j], acc0[i][j]);
-            }
-            for j in 0..NRH {
-                acc1[i][j] = ai.mul_add(b1[j], acc1[i][j]);
-            }
-        }
-    }
-
-    let mut acc0 = [[0.0f32; NRH]; MR];
-    let mut acc1 = [[0.0f32; NRH]; MR];
-    // Two depth steps per iteration: the even unroll keeps the accumulator
-    // registers in place (an odd rotation costs a register-copy per row per
-    // step, which hurts FMA throughput).
-    let kc2 = kc & !1;
-    let mut p = 0;
-    while p < kc2 {
-        step(&mut acc0, &mut acc1, &ap[p * MR..(p + 1) * MR], &bp[p * NR..(p + 1) * NR]);
-        step(
-            &mut acc0,
-            &mut acc1,
-            &ap[(p + 1) * MR..(p + 2) * MR],
-            &bp[(p + 1) * NR..(p + 2) * NR],
-        );
-        p += 2;
-    }
-    if p < kc {
-        step(&mut acc0, &mut acc1, &ap[p * MR..(p + 1) * MR], &bp[p * NR..(p + 1) * NR]);
-    }
-    (acc0, acc1)
 }
 
 // ---------------------------------------------------------------------------
@@ -274,8 +217,9 @@ thread_local! {
 ///
 /// Holds a raw base pointer rather than a `&mut [f32]` so the 2-D parallel
 /// driver can hand each task its own tile without ever creating two live
-/// mutable references to overlapping memory: a mutable slice only
-/// materializes per disjoint row *segment* inside [`CTile::row`].
+/// mutable references to overlapping memory: writes happen only through the
+/// micro-kernel store, on the disjoint `mr×nr` window [`CTile::ptr_at`]
+/// hands out.
 ///
 /// Invariant (upheld by every constructor site): while a `CTile` is alive,
 /// nothing else reads or writes its (row-range × column-range) window, and
@@ -322,16 +266,21 @@ impl<'a> CTile<'a> {
         }
     }
 
-    /// Row `i` (tile-relative), `len` columns starting at tile column `j`.
+    /// Pointer to tile-relative element `(i, j)`, checked to head an
+    /// exclusive `rows × cols` window (row stride = the buffer's `n`).
+    ///
+    /// `&mut self` plus the tile invariant make the returned window safe
+    /// for the micro-kernel to read and write: callers keep
+    /// `i + rows <= mt`, `j + cols <= nt`, and never hold two windows of
+    /// one tile at once.
     #[inline]
-    fn row(&mut self, i: usize, j: usize, len: usize) -> &mut [f32] {
+    fn ptr_at(&mut self, i: usize, j: usize, rows: usize, cols: usize) -> *mut f32 {
         let start = (self.i0 + i) * self.n + self.j0 + j;
-        debug_assert!(start + len <= self.len);
-        // SAFETY: the segment lies inside this tile's exclusive window
-        // (callers keep `i < mt`, `j + len <= nt`), `&mut self` prevents a
-        // second live segment from this tile, and the window invariant
-        // rules out aliasing with other tiles or readers.
-        unsafe { std::slice::from_raw_parts_mut(self.base.add(start), len) }
+        debug_assert!(rows > 0 && cols > 0);
+        debug_assert!(start + (rows - 1) * self.n + cols <= self.len);
+        // SAFETY: `start` is in-bounds (checked above against the buffer
+        // length captured at construction).
+        unsafe { self.base.add(start) }
     }
 }
 
@@ -346,6 +295,7 @@ impl<'a> CTile<'a> {
 /// bias adds and overwrites cost no extra pass over the output.
 #[allow(clippy::too_many_arguments)]
 fn gemm_tile_serial(
+    isa: Isa,
     layout: GemmLayout,
     alpha: f32,
     a: &[f32],
@@ -360,12 +310,13 @@ fn gemm_tile_serial(
     (p0, p1): (usize, usize),
 ) {
     debug_assert_eq!((tile.i0, tile.j0), (i0, j0));
+    let (mr_t, nr_t) = simd::gemm_tile_shape(isa);
     PACK_A_BUF.with(|pa| {
         PACK_B_BUF.with(|pb| {
             let mut pa = pa.borrow_mut();
             let mut pb = pb.borrow_mut();
-            pa.resize(MC.div_ceil(MR) * MR * KC, 0.0);
-            pb.resize(NC.div_ceil(NR) * NR * KC, 0.0);
+            pa.resize(MC.div_ceil(mr_t) * mr_t * KC, 0.0);
+            pb.resize(NC.div_ceil(nr_t) * nr_t * KC, 0.0);
 
             let mut jc = 0;
             while jc < nt {
@@ -376,42 +327,40 @@ fn gemm_tile_serial(
                     // The epilogue applies exactly once, on the first depth
                     // block; later blocks accumulate.
                     let epi_now = if pc == p0 { epi } else { Epilogue::Add };
-                    pack_b(layout, b, k, n, pc, kc, j0 + jc, nc, &mut pb);
+                    pack_b(layout, b, k, n, pc, kc, j0 + jc, nc, nr_t, &mut pb);
                     let mut ic = 0;
                     while ic < mt {
                         let mc = MC.min(mt - ic);
-                        pack_a(layout, alpha, a, m, k, i0 + ic, mc, pc, kc, &mut pa);
-                        for jr in 0..nc.div_ceil(NR) {
-                            let bp = &pb[jr * NR * kc..(jr + 1) * NR * kc];
-                            let nr = NR.min(nc - jr * NR);
-                            for ir in 0..mc.div_ceil(MR) {
-                                let ap = &pa[ir * MR * kc..(ir + 1) * MR * kc];
-                                let mr = MR.min(mc - ir * MR);
-                                let (acc0, acc1) = microkernel(kc, ap, bp);
-                                for i in 0..mr {
-                                    let crow =
-                                        tile.row(ic + ir * MR + i, jc + jr * NR, nr);
-                                    match epi_now {
-                                        Epilogue::Add => {
-                                            for (j, cv) in crow.iter_mut().enumerate() {
-                                                let half = if j < NRH { &acc0 } else { &acc1 };
-                                                *cv += half[i][j % NRH];
-                                            }
-                                        }
-                                        Epilogue::AddBias(bias) => {
-                                            let col0 = j0 + jc + jr * NR;
-                                            for (j, cv) in crow.iter_mut().enumerate() {
-                                                let half = if j < NRH { &acc0 } else { &acc1 };
-                                                *cv += half[i][j % NRH] + bias[col0 + j];
-                                            }
-                                        }
-                                        Epilogue::Assign => {
-                                            for (j, cv) in crow.iter_mut().enumerate() {
-                                                let half = if j < NRH { &acc0 } else { &acc1 };
-                                                *cv = half[i][j % NRH];
-                                            }
-                                        }
+                        pack_a(layout, alpha, a, m, k, i0 + ic, mc, pc, kc, mr_t, &mut pa);
+                        for jr in 0..nc.div_ceil(nr_t) {
+                            let bp = &pb[jr * nr_t * kc..(jr + 1) * nr_t * kc];
+                            let nr = nr_t.min(nc - jr * nr_t);
+                            for ir in 0..mc.div_ceil(mr_t) {
+                                let ap = &pa[ir * mr_t * kc..(ir + 1) * mr_t * kc];
+                                let mr = mr_t.min(mc - ir * mr_t);
+                                // The tile-local epilogue carries the bias
+                                // slice pre-offset to this micro-tile's
+                                // first column.
+                                let micro_epi = match epi_now {
+                                    Epilogue::Add => MicroEpi::Add,
+                                    Epilogue::AddBias(bias) => {
+                                        let col0 = j0 + jc + jr * nr_t;
+                                        MicroEpi::AddBias(&bias[col0..col0 + nr])
                                     }
+                                    Epilogue::Assign => MicroEpi::Assign,
+                                };
+                                let cptr =
+                                    tile.ptr_at(ic + ir * mr_t, jc + jr * nr_t, mr, nr);
+                                // SAFETY: `cptr` heads an exclusive mr×nr
+                                // window of this tile (checked by
+                                // `ptr_at`); panels hold kc·mr_t / kc·nr_t
+                                // packed elements; `isa` came from
+                                // dispatch, which only yields runnable
+                                // ISAs.
+                                unsafe {
+                                    simd::gemm_microkernel(
+                                        isa, kc, ap, bp, cptr, n, mr, nr, micro_epi,
+                                    );
                                 }
                             }
                         }
@@ -538,8 +487,11 @@ fn gemm_dispatch(
         epi_pre_pass(epi, c, n);
         return gemm_small(layout, alpha, a, b, c, m, k, n);
     }
+    // ISA resolved once per product; every tile of this call uses the same
+    // micro-kernel and tile shape.
+    let isa = simd::active_isa();
     if flops < PAR_FLOPS || rayon::current_num_threads() == 1 {
-        return gemm_serial(layout, alpha, a, b, epi, c, m, k, n);
+        return gemm_serial(isa, layout, alpha, a, b, epi, c, m, k, n);
     }
 
     let row_blocks = m.div_ceil(MC);
@@ -547,29 +499,30 @@ fn gemm_dispatch(
     // Any tile-level parallelism beats none; split-K only wins when the
     // tile grid is a single tile but the depth is long.
     if row_blocks * col_blocks >= 2 {
-        gemm_parallel_2d(layout, alpha, a, b, epi, c, m, k, n, row_blocks, col_blocks);
+        gemm_parallel_2d(isa, layout, alpha, a, b, epi, c, m, k, n, row_blocks, col_blocks);
     } else if k >= 4 * KC {
         // Skinny split-K outputs are tiny (the path only triggers when the
         // C tile grid is a single tile), so the epilogue stays out of the
         // per-task partials and costs one sweep of a small buffer.
         epi_pre_pass(epi, c, n);
-        gemm_parallel_split_k(layout, alpha, a, b, c, m, k, n);
+        gemm_parallel_split_k(isa, layout, alpha, a, b, c, m, k, n);
     } else {
-        gemm_serial(layout, alpha, a, b, epi, c, m, k, n);
+        gemm_serial(isa, layout, alpha, a, b, epi, c, m, k, n);
     }
 }
 
 /// Serial blocked product over the whole output.
 #[allow(clippy::too_many_arguments)]
-fn gemm_serial(layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], epi: Epilogue<'_>, c: &mut [f32], m: usize, k: usize, n: usize) {
+fn gemm_serial(isa: Isa, layout: GemmLayout, alpha: f32, a: &[f32], b: &[f32], epi: Epilogue<'_>, c: &mut [f32], m: usize, k: usize, n: usize) {
     let mut tile = CTile::new(c, n, 0, 0);
-    gemm_tile_serial(layout, alpha, a, b, epi, &mut tile, m, k, n, (0, m), (0, n), (0, k));
+    gemm_tile_serial(isa, layout, alpha, a, b, epi, &mut tile, m, k, n, (0, m), (0, n), (0, k));
 }
 
 /// 2-D tiling over (row-block × column-block) of C. Tiles write disjoint
 /// C regions; each task packs its own panels into thread-local buffers.
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel_2d(
+    isa: Isa,
     layout: GemmLayout,
     alpha: f32,
     a: &[f32],
@@ -583,9 +536,9 @@ fn gemm_parallel_2d(
     col_blocks: usize,
 ) {
     // One prototype tile borrows `c` for the whole parallel region; each
-    // task clones it with its own disjoint window. Mutable slices only ever
-    // materialize per row segment inside `CTile::row`, so no two live
-    // `&mut` overlap (see the `CTile` invariant).
+    // task clones it with its own disjoint window. Writes only ever happen
+    // through the micro-kernel store on per-task disjoint windows (see the
+    // `CTile` invariant).
     let proto = CTile::new(c, n, 0, 0);
     (0..row_blocks * col_blocks).into_par_iter().for_each(|t| {
         let (rb, cb) = (t / col_blocks, t % col_blocks);
@@ -597,7 +550,7 @@ fn gemm_parallel_2d(
         // col-range) windows, and the parallel call joins before `c`'s
         // borrow ends.
         let mut tile = proto.window(i0, j0);
-        gemm_tile_serial(layout, alpha, a, b, epi, &mut tile, m, k, n, (i0, mt), (j0, nt), (0, k));
+        gemm_tile_serial(isa, layout, alpha, a, b, epi, &mut tile, m, k, n, (i0, mt), (j0, nt), (0, k));
     });
 }
 
@@ -606,6 +559,7 @@ fn gemm_parallel_2d(
 /// `[4, 1M] × [1M, 8]`) where the C tile grid has too little parallelism.
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel_split_k(
+    isa: Isa,
     layout: GemmLayout,
     alpha: f32,
     a: &[f32],
@@ -630,7 +584,7 @@ fn gemm_parallel_split_k(
             let p1 = ((t + 1) * per).min(k);
             let mut partial = vec![0.0f32; m * n];
             let mut tile = CTile::new(&mut partial, n, 0, 0);
-            gemm_tile_serial(layout, alpha, a, b, Epilogue::Add, &mut tile, m, k, n, (0, m), (0, n), (p0, p1));
+            gemm_tile_serial(isa, layout, alpha, a, b, Epilogue::Add, &mut tile, m, k, n, (0, m), (0, n), (p0, p1));
             partial
         })
         .collect();
@@ -770,7 +724,7 @@ pub(crate) fn gemm_serial_or_small(layout: GemmLayout, alpha: f32, a: &[f32], b:
         epi_pre_pass(epi, c, n);
         gemm_small(layout, alpha, a, b, c, m, k, n);
     } else {
-        gemm_serial(layout, alpha, a, b, epi, c, m, k, n);
+        gemm_serial(simd::active_isa(), layout, alpha, a, b, epi, c, m, k, n);
     }
 }
 
@@ -1068,6 +1022,178 @@ mod tests {
     #[test]
     fn parallel_2d_path_matches_reference() {
         check_layout(GemmLayout::NN, 2 * MC + 9, 2 * KC + 1, 2 * NC + 11, 71);
+    }
+
+    // ---- ISA matrix: every available micro-kernel, every layout ---------
+
+    /// Blocked product on an explicit ISA (skips the small-op fast path so
+    /// the micro-kernel and packing run even for tiny shapes).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_blocked_isa(isa: Isa, layout: GemmLayout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        gemm_serial(isa, layout, 1.0, a, b, Epilogue::Add, c, m, k, n);
+    }
+
+    #[test]
+    fn micro_kernel_edge_shapes_every_isa() {
+        // m, n sweep the micro-tile edges {1, MR−1, MR, MR+1, 130} /
+        // {1, NR−1, NR, NR+1, 130} of each ISA's tile shape; k crosses
+        // nothing (1), an odd prime, and a non-multiple spanning a panel.
+        for isa in Isa::available() {
+            let (mr, nr) = simd::gemm_tile_shape(isa);
+            for layout in [GemmLayout::NN, GemmLayout::NT, GemmLayout::TN] {
+                for &m in &[1usize, mr - 1, mr, mr + 1, 130] {
+                    for &n in &[1usize, nr - 1, nr, nr + 1, 130] {
+                        for &k in &[1usize, 3, 130] {
+                            let mut rng = Rng::new((m * 7 + n * 11 + k) as u64);
+                            let mut a = vec![0.0f32; m * k];
+                            let mut b = vec![0.0f32; k * n];
+                            rng.fill_normal(&mut a, 1.0);
+                            rng.fill_normal(&mut b, 1.0);
+                            let mut c = vec![0.0f32; m * n];
+                            gemm_blocked_isa(isa, layout, &a, &b, &mut c, m, k, n);
+                            let want = reference(layout, &a, &b, m, k, n);
+                            for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+                                assert!(
+                                    (x - y).abs() < 1e-3 * k.max(1) as f32,
+                                    "{} {layout:?} {m}x{k}x{n} differs at {i}: {x} vs {y}",
+                                    isa.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_isas_agree_with_scalar_within_ulps() {
+        // The micro-kernels accumulate strictly k-major per output element
+        // in every ISA, so SIMD results should round like the scalar
+        // kernel's — allow 2 ulps of slack for the store epilogue.
+        fn ulps(a: f32, b: f32) -> u64 {
+            fn key(x: f32) -> i64 {
+                let bits = x.to_bits();
+                if bits & 0x8000_0000 != 0 { -((bits & 0x7fff_ffff) as i64) } else { bits as i64 }
+            }
+            (key(a) - key(b)).unsigned_abs()
+        }
+        let (m, k, n) = (67, KC + 9, 65); // spans a depth-block boundary
+        let mut rng = Rng::new(101);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        rng.fill_normal(&mut a, 1.0);
+        rng.fill_normal(&mut b, 1.0);
+        for layout in [GemmLayout::NN, GemmLayout::NT, GemmLayout::TN] {
+            let mut scalar = vec![0.0f32; m * n];
+            gemm_blocked_isa(Isa::Scalar, layout, &a, &b, &mut scalar, m, k, n);
+            for isa in Isa::available() {
+                let mut c = vec![0.0f32; m * n];
+                gemm_blocked_isa(isa, layout, &a, &b, &mut c, m, k, n);
+                for (i, (x, y)) in c.iter().zip(&scalar).enumerate() {
+                    assert!(
+                        ulps(*x, *y) <= 2,
+                        "{} {layout:?} elem {i}: {x} vs scalar {y}",
+                        isa.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bias_epilogue_every_isa_square_nn() {
+        // The satellite check behind the matmul_bias bench fix: the bias
+        // epilogue must engage (and be exact) at square NN shapes on every
+        // ISA path, including full 256³ where all panel blocks are full.
+        for isa in Isa::available() {
+            let (m, k, n) = (256usize, 256usize, 256usize);
+            let mut rng = Rng::new(103);
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            let mut bias = vec![0.0f32; n];
+            rng.fill_normal(&mut a, 1.0);
+            rng.fill_normal(&mut b, 1.0);
+            rng.fill_normal(&mut bias, 1.0);
+            let mut fused = vec![0.0f32; m * n];
+            gemm_serial(isa, GemmLayout::NN, 1.0, &a, &b, Epilogue::AddBias(&bias), &mut fused, m, k, n);
+            let mut plain = vec![0.0f32; m * n];
+            gemm_serial(isa, GemmLayout::NN, 1.0, &a, &b, Epilogue::Add, &mut plain, m, k, n);
+            for (i, (f, p)) in fused.iter().zip(&plain).enumerate() {
+                let want = p + bias[i % n];
+                assert!(
+                    (f - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "{} elem {i}: {f} vs {want}",
+                    isa.name()
+                );
+            }
+        }
+    }
+
+    // ---- bitwise determinism of the parallel drivers --------------------
+
+    #[test]
+    fn parallel_2d_driver_bitwise_matches_serial() {
+        // Tiles partition C and every tile runs the identical serial
+        // blocked code, so the 2-D driver must be bitwise equal to the
+        // whole-output serial product — at any thread count, on the SIMD
+        // paths included.
+        let (m, k, n) = (MC + 9, KC + 1, NC + 11);
+        let mut rng = Rng::new(104);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        rng.fill_normal(&mut a, 1.0);
+        rng.fill_normal(&mut b, 1.0);
+        for isa in Isa::available() {
+            let mut serial = vec![0.0f32; m * n];
+            gemm_serial(isa, GemmLayout::NN, 1.0, &a, &b, Epilogue::Add, &mut serial, m, k, n);
+            let mut par2d = vec![0.0f32; m * n];
+            gemm_parallel_2d(
+                isa, GemmLayout::NN, 1.0, &a, &b, Epilogue::Add, &mut par2d,
+                m, k, n, m.div_ceil(MC), n.div_ceil(NC),
+            );
+            for (i, (x, y)) in par2d.iter().zip(&serial).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{} elem {i}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn split_k_driver_bitwise_matches_shape_derived_fold() {
+        // Split-K's partial grouping is derived from k alone; replaying
+        // the same chunking serially must reproduce it bit for bit on
+        // every ISA (this is the thread-count-independence argument: the
+        // grouping never depends on the worker count).
+        let (m, k, n) = (2usize, 4 * KC + 37, 6usize);
+        let mut rng = Rng::new(105);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        rng.fill_normal(&mut a, 1.0);
+        rng.fill_normal(&mut b, 1.0);
+        for isa in Isa::available() {
+            let mut split = vec![0.0f32; m * n];
+            gemm_parallel_split_k(isa, GemmLayout::NN, 1.0, &a, &b, &mut split, m, k, n);
+            // Replay the shape-derived schedule serially.
+            const GRAIN: usize = 4 * KC;
+            let chunks = k.div_ceil(GRAIN).min(16);
+            let per = k.div_ceil(chunks);
+            let mut want = vec![0.0f32; m * n];
+            for t in 0..chunks {
+                let (p0, p1) = (t * per, ((t + 1) * per).min(k));
+                let mut partial = vec![0.0f32; m * n];
+                let mut tile = CTile::new(&mut partial, n, 0, 0);
+                gemm_tile_serial(isa, GemmLayout::NN, 1.0, &a, &b, Epilogue::Add, &mut tile, m, k, n, (0, m), (0, n), (p0, p1));
+                for (w, p) in want.iter_mut().zip(&partial) {
+                    *w += p;
+                }
+            }
+            for (i, (x, y)) in split.iter().zip(&want).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{} elem {i}", isa.name());
+            }
+        }
     }
 
     fn check_bias_epilogue(m: usize, k: usize, n: usize, seed: u64) {

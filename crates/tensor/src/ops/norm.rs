@@ -2,11 +2,12 @@
 //!
 //! The forward pass computes per-row statistics in a single sweep using a
 //! chunked Welford scheme: each 64-element chunk accumulates a plain
-//! (vectorizable) sum and sum-of-squares, and chunk statistics are folded
-//! into the running `(mean, M2)` pair with Chan's parallel-combine update.
-//! This keeps Welford's numerical robustness (no catastrophic cancellation
-//! for large means) while the inner loops stay branch-free and
-//! auto-vectorized, and it reads each row once instead of twice.
+//! lane-parallel sum and sum-of-squares (the runtime-dispatched SIMD sweep
+//! in [`crate::simd::welford_stats`]), and chunk statistics are folded into
+//! the running `(mean, M2)` pair with Chan's parallel-combine update. This
+//! keeps Welford's numerical robustness (no catastrophic cancellation for
+//! large means) while the inner loops stay branch-free and explicitly
+//! vectorized, and it reads each row once instead of twice.
 //!
 //! Rows are independent, so both passes parallelize over row bands; the
 //! backward's `dγ`/`dβ` cross-row reductions are computed as per-band
@@ -19,10 +20,6 @@ use crate::tensor::Tensor;
 
 pub const LN_EPS: f32 = 1e-5;
 
-/// Welford chunk width: statistics are combined once per this many
-/// elements, so the hot loop is a straight sum/sum-of-squares.
-const WELFORD_CHUNK: usize = 64;
-
 /// Saved statistics from the forward pass, needed by the backward pass.
 pub struct LayerNormCtx {
     /// Per-row mean, length = rows.
@@ -31,36 +28,10 @@ pub struct LayerNormCtx {
     pub rstd: Vec<f32>,
 }
 
-/// Single-sweep `(mean, variance)` of one row via chunked Welford.
+/// Single-sweep `(mean, variance)` of one row via chunked Welford — the
+/// runtime-dispatched lane-parallel sweep in the SIMD core.
 fn row_stats(row: &[f32]) -> (f32, f32) {
-    let n = row.len();
-    let mut mean = 0.0f32;
-    let mut m2 = 0.0f32;
-    let mut count = 0usize;
-    for chunk in row.chunks(WELFORD_CHUNK) {
-        // Shift by the chunk's first element so the sums are over values
-        // of magnitude ≈ the data's spread, not its offset — this is what
-        // keeps the straight sum/sum-of-squares as well-conditioned as
-        // per-element Welford.
-        let shift = chunk[0];
-        let (mut s, mut s2) = (0.0f32, 0.0f32);
-        for &x in chunk {
-            let v = x - shift;
-            s += v;
-            s2 = v.mul_add(v, s2);
-        }
-        let c = chunk.len() as f32;
-        let chunk_mean = shift + s / c;
-        // M2 of the chunk around its own mean.
-        let chunk_m2 = (s2 - s * (s / c)).max(0.0);
-        // Chan's combine of (mean, M2, count) pairs.
-        let total = count as f32 + c;
-        let delta = chunk_mean - mean;
-        mean += delta * (c / total);
-        m2 += chunk_m2 + delta * delta * (count as f32 * c / total);
-        count += chunk.len();
-    }
-    (mean, m2 / n as f32)
+    crate::simd::welford_stats(row)
 }
 
 /// LayerNorm over the last axis: `y = (x − μ)/σ · γ + β`.

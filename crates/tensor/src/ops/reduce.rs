@@ -2,7 +2,7 @@
 
 use rayon::prelude::*;
 
-use crate::ops::exp_fast;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Sum over every axis except the last: `[..., n] -> [n]`.
@@ -49,22 +49,22 @@ pub fn mean_axis1(a: &Tensor) -> Tensor {
     Tensor::from_vec(out, [b, d])
 }
 
-/// Numerically-stable softmax over the last axis. The exponential sweep
-/// uses the polynomial [`exp_fast`] so the row loop vectorizes instead of
-/// serializing on libm `expf` calls.
+/// Numerically-stable softmax over the last axis. The max, exponential,
+/// and sum passes run on the runtime-dispatched SIMD sweeps in
+/// [`crate::simd`] (polynomial `exp_fast` lanes, fixed-tree horizontal
+/// folds), so a row costs three vector passes over cache-hot data and no
+/// libm calls.
 pub fn softmax_last(a: &Tensor) -> Tensor {
     let n = a.shape().last();
     let mut out = a.to_vec();
     let body = |row: &mut [f32]| {
-        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let max = simd::row_max(row);
         // Exponentiate and sum in separate passes: a fused `sum +=` would
-        // chain every lane through one serial accumulator and block the
-        // exp sweep from vectorizing. The standalone sum keeps the exact
-        // sequential order (bitwise-stable), and the row is cache-hot.
-        for x in row.iter_mut() {
-            *x = exp_fast(*x - max);
-        }
-        let sum: f32 = row.iter().sum();
+        // chain every lane through one serial accumulator. The standalone
+        // sum re-reads the row out of cache with a fixed lane grouping, so
+        // results are identical at any thread count.
+        simd::exp_sub_sweep(row, max);
+        let sum = simd::row_sum(row);
         let inv = 1.0 / sum;
         for x in row.iter_mut() {
             *x *= inv;

@@ -87,6 +87,22 @@ pub(crate) fn for_each_row_zip(
     }
 }
 
+/// Chunked in-place sweep over a flat buffer, parallel when large: like
+/// [`map_in_place`] but handing the closure whole chunks, so lane-level
+/// kernels from [`crate::simd`] can run inside. Chunk boundaries never
+/// change elementwise results, so output is identical at any thread count.
+pub(crate) fn for_each_chunk(data: &mut [f32], f: impl Fn(&mut [f32]) + Sync) {
+    if data.len() >= PAR_NUMEL {
+        let chunk = data
+            .len()
+            .div_ceil(rayon::current_num_threads() * 4)
+            .max(1024);
+        data.par_chunks_mut(chunk).for_each(f);
+    } else {
+        f(data);
+    }
+}
+
 /// Elementwise in-place map, parallel when large.
 pub(crate) fn map_in_place(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
     if data.len() >= PAR_NUMEL {

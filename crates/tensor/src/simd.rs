@@ -1,0 +1,1425 @@
+//! Explicit-SIMD compute core: runtime-dispatched vector kernels.
+//!
+//! One module owns every piece of lane-level code in the tensor crate. The
+//! GEMM micro-kernel, its store epilogues, and the hot elementwise sweeps
+//! (`exp`, `tanh`/GELU, softmax max/sum, layernorm's chunked Welford pass,
+//! the in-place AdamW update) are written once over a small [`Vf32`] vector
+//! abstraction (load/store/fma/min/max/blend/sqrt + horizontal folds) and
+//! instantiated per ISA:
+//!
+//! * **AVX-512** — [`F32x16`] (`__m512`); the GEMM micro-kernel holds an
+//!   8×32 accumulator (16 ZMM registers + 2 B vectors + 1 broadcast = 19 of
+//!   32 architectural registers).
+//! * **AVX2 + FMA** — [`F32x8`] (`__m256`); 6×16 accumulator (12 YMM plus
+//!   2 B vectors and 1 broadcast = 15 of 16 registers — the same register
+//!   arithmetic the old auto-vectorized kernel encoded implicitly).
+//! * **Scalar** — safe Rust over fixed-size `[f32; 8]` windows, exactly the
+//!   pre-SIMD kernels. This is both the portability fallback and the
+//!   reference the SIMD paths are ulp-tested against.
+//!
+//! # Dispatch strategy
+//!
+//! The ISA is selected **once per process** via
+//! [`is_x86_feature_detected!`] and cached ([`active_isa`]); every kernel
+//! entry point reads the cached value and branches to its per-ISA
+//! `#[target_feature]` wrapper. The `DCHAG_FORCE_ISA` environment variable
+//! (`avx512` / `avx2` / `scalar`) overrides detection for testing — forcing
+//! an ISA the host cannot run is a hard error, never silent misexecution.
+//! Tests that need to cover several ISAs in one process use the `*_isa`
+//! variants, which take the ISA explicitly; [`Isa::available`] enumerates
+//! what the host supports.
+//!
+//! # Determinism and ulp policy
+//!
+//! Within one ISA, every kernel is bitwise deterministic at any thread
+//! count: lane groupings are fixed by the ISA's vector width and the
+//! parallel drivers above this module never change reduction grouping with
+//! the worker count. Across ISAs:
+//!
+//! * **Elementwise** sweeps (`exp`, `tanh`, GELU, AdamW) perform the same
+//!   IEEE operation sequence per element in every ISA, so they agree with
+//!   the scalar path to ≤ 2 ulps (and are bitwise identical in practice).
+//! * **Reductions** (row sums, Welford moments) fold lanes in a fixed tree
+//!   order that differs from the scalar left-to-right order, so results
+//!   agree within a few ulps but not bitwise. The GEMM micro-kernel
+//!   accumulates strictly k-major per output element in every ISA, so its
+//!   per-element rounding matches the scalar kernel's.
+
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// ISA selection
+// ---------------------------------------------------------------------------
+
+/// Instruction-set tier the lane-level kernels run on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Isa {
+    /// AVX-512F: 16-lane vectors, 8×32 GEMM accumulator.
+    Avx512,
+    /// AVX2 + FMA: 8-lane vectors, 6×16 GEMM accumulator.
+    Avx2,
+    /// Safe auto-vectorized Rust: the portability fallback and ulp
+    /// reference.
+    Scalar,
+}
+
+impl Isa {
+    /// Short name recorded by the bench emitters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Avx512 => "avx512f",
+            Isa::Avx2 => "avx2+fma",
+            Isa::Scalar => "scalar",
+        }
+    }
+
+    /// Every ISA this host can execute, widest first (always ends with
+    /// [`Isa::Scalar`]). Tests iterate this to cover all paths in-process.
+    pub fn available() -> Vec<Isa> {
+        let mut out = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                out.push(Isa::Avx512);
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                out.push(Isa::Avx2);
+            }
+        }
+        out.push(Isa::Scalar);
+        out
+    }
+
+    /// Whether this host can execute the ISA. Cheap (the feature macros
+    /// cache in atomics), so the dispatchers check it unconditionally —
+    /// `Isa` variants are freely constructible by safe code, and jumping
+    /// into a `#[target_feature]` kernel the CPU lacks would be UB.
+    fn supported(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+fn detect() -> Isa {
+    if let Ok(v) = std::env::var("DCHAG_FORCE_ISA") {
+        let forced = match v.trim() {
+            "" | "auto" | "native" => None,
+            "scalar" => Some(Isa::Scalar),
+            "avx2" => Some(Isa::Avx2),
+            "avx512" | "avx512f" => Some(Isa::Avx512),
+            other => {
+                panic!("DCHAG_FORCE_ISA={other:?} not recognized (use avx512 | avx2 | scalar)")
+            }
+        };
+        if let Some(isa) = forced {
+            assert!(
+                isa.supported(),
+                "DCHAG_FORCE_ISA={} but this host does not support it",
+                isa.name()
+            );
+            return isa;
+        }
+    }
+    *Isa::available().first().unwrap()
+}
+
+/// The process-wide ISA every dispatched kernel runs on, selected once
+/// (detection + `DCHAG_FORCE_ISA` override) and cached.
+pub fn active_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect)
+}
+
+// ---------------------------------------------------------------------------
+// GEMM tile geometry
+// ---------------------------------------------------------------------------
+
+/// Upper bound on micro-tile rows across ISAs (scratch sizing).
+pub(crate) const GEMM_MAX_MR: usize = 8;
+/// Upper bound on micro-tile columns across ISAs (scratch sizing).
+pub(crate) const GEMM_MAX_NR: usize = 32;
+
+/// `(MR, NR)` register micro-tile shape for an ISA. The accumulator is
+/// always two vector registers wide (`NR = 2 × lanes`), so each A-element
+/// broadcast feeds two FMAs and the kernel is FMA-port-bound rather than
+/// load-port-bound. Public so the bench emitter can record the shape the
+/// numbers ran on.
+pub fn gemm_tile_shape(isa: Isa) -> (usize, usize) {
+    match isa {
+        // 16 ZMM accumulators + 2 B + 1 broadcast = 19 of 32 registers.
+        Isa::Avx512 => (8, 32),
+        // 12 YMM accumulators + 2 B + 1 broadcast = 15 of 16 registers.
+        Isa::Avx2 | Isa::Scalar => (6, 16),
+    }
+}
+
+/// What the micro-kernel store does with this tile's result. The bias
+/// slice is already offset to the tile's first column (length ≥ `nr`).
+#[derive(Clone, Copy)]
+pub(crate) enum MicroEpi<'a> {
+    /// `C += P`.
+    Add,
+    /// `C += P + bias` (bias added exactly once, on the first depth block).
+    AddBias(&'a [f32]),
+    /// `C = P` (scratch reuse without a `fill(0.0)` pre-pass).
+    Assign,
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (the Scalar ISA path and the ulp reference)
+// ---------------------------------------------------------------------------
+
+/// Vectorizable exp: Cephes-style polynomial (the coefficient set classic
+/// `expf` implementations ship), accurate to ~1 ulp over the clamped
+/// domain.
+///
+/// libm `expf` is an opaque call that serializes every lane of a softmax or
+/// flash-attention sweep. This version reduces `x = n·ln2 + r` with the
+/// round-to-nearest magic-number trick (no `round` libm call), evaluates a
+/// degree-5 polynomial for `e^r` (Horner, FMA-contracted), and rebuilds
+/// `2^n` by exponent-field bit assembly. The SIMD sweeps perform the
+/// identical operation sequence per lane.
+///
+/// Domain: inputs are clamped to `[-87, 88]` (beyond which f32 `exp`
+/// under/overflows anyway); softmax feeds only `x − max ≤ 0`. NaN
+/// propagates.
+#[inline(always)]
+#[allow(clippy::excessive_precision)] // Cephes constants kept verbatim: LN2_HI must be the exactly-representable 0x3F318000
+pub fn exp_fast(x: f32) -> f32 {
+    let x = x.clamp(EXP_LO, EXP_HI);
+    let n = (x * LOG2E + MAGIC) - MAGIC;
+    let r = n.mul_add(-LN2_HI, x);
+    let r = n.mul_add(-LN2_LO, r);
+    let p = r.mul_add(EXP_P0, EXP_P1);
+    let p = r.mul_add(p, EXP_P2);
+    let p = r.mul_add(p, EXP_P3);
+    let p = r.mul_add(p, EXP_P4);
+    let p = r.mul_add(p, EXP_P5);
+    let er = (p * r).mul_add(r, r) + 1.0;
+    // 2^n by exponent assembly; n ∈ [-126, 127] after the clamp, so the
+    // biased exponent stays in the normal range. (NaN takes `n as i32` = 0,
+    // scale 1, and propagates through `er`.)
+    let scale = f32::from_bits((((n as i32) + 127) as u32) << 23);
+    er * scale
+}
+
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+// ln2 split hi/lo so `x − n·ln2` stays exact to f32 precision.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f32 = 0.693_359_375;
+const LN2_LO: f32 = -2.121_944_4e-4;
+// Round-to-nearest-even via the 1.5·2^23 magic constant: adding forces the
+// integer into the mantissa, subtracting recovers it as a float.
+const MAGIC: f32 = 12_582_912.0;
+const EXP_LO: f32 = -87.0;
+const EXP_HI: f32 = 88.0;
+const EXP_P0: f32 = 1.987_569_2e-4;
+const EXP_P1: f32 = 1.398_2e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_6e-1;
+#[allow(clippy::excessive_precision)] // Cephes constant kept verbatim
+const EXP_P5: f32 = 5.000_000_1e-1;
+
+/// Vectorizable tanh: Cephes-style rational approximation (the coefficient
+/// set Eigen ships), accurate to a few f32 ulps over the clamped domain.
+///
+/// `f32::tanh` is an opaque libm call, so a GELU loop built on it can never
+/// vectorize — the call serializes every lane. The
+/// odd-polynomial-over-even-polynomial form (Horner, FMA-contracted) is
+/// straight-line arithmetic the SIMD sweeps replicate lane-for-lane.
+#[inline(always)]
+pub fn tanh_fast(x: f32) -> f32 {
+    // tanh saturates to ±1 in f32 past ~7.9; clamping there also bounds the
+    // polynomial's valid domain. NaN propagates through clamp → p/q.
+    let x = x.clamp(-TANH_BOUND, TANH_BOUND);
+    let x2 = x * x;
+    let p = x2.mul_add(TANH_A13, TANH_A11);
+    let p = x2.mul_add(p, TANH_A9);
+    let p = x2.mul_add(p, TANH_A7);
+    let p = x2.mul_add(p, TANH_A5);
+    let p = x2.mul_add(p, TANH_A3);
+    let p = x * x2.mul_add(p, TANH_A1);
+    let q = x2.mul_add(TANH_B6, TANH_B4);
+    let q = x2.mul_add(q, TANH_B2);
+    let q = x2.mul_add(q, TANH_B0);
+    p / q
+}
+
+const TANH_BOUND: f32 = 7.905;
+const TANH_A1: f32 = 4.893_525_5e-3;
+const TANH_A3: f32 = 6.372_619_3e-4;
+const TANH_A5: f32 = 1.485_722_4e-5;
+const TANH_A7: f32 = 5.122_297_1e-8;
+const TANH_A9: f32 = -8.604_672e-11;
+const TANH_A11: f32 = 2.000_188e-13;
+const TANH_A13: f32 = -2.760_768_5e-16;
+const TANH_B0: f32 = 4.893_525e-3;
+const TANH_B2: f32 = 2.268_434_6e-3;
+const TANH_B4: f32 = 1.185_347_1e-4;
+const TANH_B6: f32 = 1.198_258_4e-6;
+
+pub(crate) const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+pub(crate) const GELU_C: f32 = 0.044_715;
+
+/// GELU, tanh approximation (matches PyTorch `approximate="tanh"`).
+#[inline(always)]
+pub fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + tanh_fast(SQRT_2_OVER_PI * (x + GELU_C * x * x * x)))
+}
+
+/// Welford chunk width: statistics are combined once per this many
+/// elements, so the hot loop is a straight sum/sum-of-squares.
+pub(crate) const WELFORD_CHUNK: usize = 64;
+
+mod scalar {
+    use super::*;
+
+    #[inline]
+    pub fn row_max(row: &[f32]) -> f32 {
+        row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    #[inline]
+    pub fn row_sum(row: &[f32]) -> f32 {
+        row.iter().sum()
+    }
+
+    #[inline]
+    pub fn exp_sub_sweep(row: &mut [f32], m: f32) {
+        for x in row.iter_mut() {
+            *x = exp_fast(*x - m);
+        }
+    }
+
+    #[inline]
+    pub fn gelu_into(src: &[f32], dst: &mut [f32]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = gelu_scalar(s);
+        }
+    }
+
+    #[inline]
+    pub fn gelu_sweep(row: &mut [f32]) {
+        for x in row.iter_mut() {
+            *x = gelu_scalar(*x);
+        }
+    }
+
+    /// Single-sweep `(mean, variance)` of one row via chunked Welford:
+    /// each chunk accumulates a plain (vectorizable) shifted sum and
+    /// sum-of-squares, folded into the running `(mean, M2)` pair with
+    /// Chan's parallel-combine update.
+    pub fn welford_stats(row: &[f32]) -> (f32, f32) {
+        let n = row.len();
+        let mut mean = 0.0f32;
+        let mut m2 = 0.0f32;
+        let mut count = 0usize;
+        for chunk in row.chunks(WELFORD_CHUNK) {
+            // Shift by the chunk's first element so the sums are over
+            // values of magnitude ≈ the data's spread, not its offset —
+            // this keeps the straight sums as well-conditioned as
+            // per-element Welford.
+            let shift = chunk[0];
+            let (mut s, mut s2) = (0.0f32, 0.0f32);
+            for &x in chunk {
+                let v = x - shift;
+                s += v;
+                s2 = v.mul_add(v, s2);
+            }
+            let (mean2, m22) = combine_chunk(mean, m2, count, shift, s, s2, chunk.len());
+            mean = mean2;
+            m2 = m22;
+            count += chunk.len();
+        }
+        (mean, m2 / n as f32)
+    }
+
+    pub fn adamw(p: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], h: &AdamParams) {
+        for (((x, mm), vv), &gg) in p.iter_mut().zip(m.iter_mut()).zip(v.iter_mut()).zip(g) {
+            adamw_scalar_step(x, mm, vv, gg, h);
+        }
+    }
+
+    /// The safe auto-vectorized micro-kernel (the pre-SIMD kernel, kept
+    /// verbatim): `[f32; 8]` windows whose inner loops LLVM turns into
+    /// 8-lane FMAs. MR = 6, NR = 16 processed as two 8-wide halves.
+    ///
+    /// # Safety
+    /// `c` must point at an exclusive `mr×nr` window with row stride `ldc`
+    /// (same contract as the SIMD kernels).
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_micro(
+        kc: usize,
+        ap: &[f32],
+        bp: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        const MR: usize = 6;
+        const NRH: usize = 8;
+        const NR: usize = 16;
+
+        #[inline(always)]
+        fn step(acc0: &mut [[f32; NRH]; MR], acc1: &mut [[f32; NRH]; MR], a: &[f32], b: &[f32]) {
+            let a: &[f32; MR] = a.try_into().unwrap();
+            let b0: &[f32; NRH] = b[..NRH].try_into().unwrap();
+            let b1: &[f32; NRH] = b[NRH..NR].try_into().unwrap();
+            for i in 0..MR {
+                let ai = a[i];
+                for j in 0..NRH {
+                    // `mul_add` lowers to a hardware FMA once the j-loop
+                    // vectorizes (Rust never contracts `a*b + c` on its
+                    // own).
+                    acc0[i][j] = ai.mul_add(b0[j], acc0[i][j]);
+                }
+                for j in 0..NRH {
+                    acc1[i][j] = ai.mul_add(b1[j], acc1[i][j]);
+                }
+            }
+        }
+
+        /// The k-loop lives in its own function that returns the
+        /// accumulators **by value**: promoted to registers for the whole
+        /// loop, materialized once on exit. Accumulating into arrays the
+        /// enclosing scope later indexes dynamically would instead leave
+        /// the alloca live and spill every iteration (measured 1.6×
+        /// slower).
+        #[inline(always)]
+        fn accumulate(kc: usize, ap: &[f32], bp: &[f32]) -> ([[f32; NRH]; MR], [[f32; NRH]; MR]) {
+            let mut acc0 = [[0.0f32; NRH]; MR];
+            let mut acc1 = [[0.0f32; NRH]; MR];
+            // Two depth steps per iteration: the even unroll keeps the
+            // accumulator registers in place (an odd rotation costs a
+            // register-copy per row per step, which hurts FMA throughput).
+            let kc2 = kc & !1;
+            let mut p = 0;
+            while p < kc2 {
+                step(&mut acc0, &mut acc1, &ap[p * MR..(p + 1) * MR], &bp[p * NR..(p + 1) * NR]);
+                step(
+                    &mut acc0,
+                    &mut acc1,
+                    &ap[(p + 1) * MR..(p + 2) * MR],
+                    &bp[(p + 1) * NR..(p + 2) * NR],
+                );
+                p += 2;
+            }
+            if p < kc {
+                step(&mut acc0, &mut acc1, &ap[p * MR..(p + 1) * MR], &bp[p * NR..(p + 1) * NR]);
+            }
+            (acc0, acc1)
+        }
+
+        let (acc0, acc1) = accumulate(kc, ap, bp);
+
+        for i in 0..mr {
+            let crow = std::slice::from_raw_parts_mut(c.add(i * ldc), nr);
+            match epi {
+                MicroEpi::Add => {
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let half = if j < NRH { &acc0 } else { &acc1 };
+                        *cv += half[i][j % NRH];
+                    }
+                }
+                MicroEpi::AddBias(bias) => {
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let half = if j < NRH { &acc0 } else { &acc1 };
+                        *cv += half[i][j % NRH] + bias[j];
+                    }
+                }
+                MicroEpi::Assign => {
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let half = if j < NRH { &acc0 } else { &acc1 };
+                        *cv = half[i][j % NRH];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Chan's parallel combine of a chunk's shifted `(s, s2)` sums into the
+/// running `(mean, M2)` pair — shared by the scalar and SIMD Welford
+/// sweeps so only the in-chunk summation differs between ISAs.
+#[inline(always)]
+fn combine_chunk(
+    mean: f32,
+    m2: f32,
+    count: usize,
+    shift: f32,
+    s: f32,
+    s2: f32,
+    chunk_len: usize,
+) -> (f32, f32) {
+    let c = chunk_len as f32;
+    let chunk_mean = shift + s / c;
+    // M2 of the chunk around its own mean.
+    let chunk_m2 = (s2 - s * (s / c)).max(0.0);
+    let total = count as f32 + c;
+    let delta = chunk_mean - mean;
+    (
+        mean + delta * (c / total),
+        m2 + chunk_m2 + delta * delta * (count as f32 * c / total),
+    )
+}
+
+/// AdamW per-element update, shared between the scalar sweep and the SIMD
+/// tails so every path rounds identically.
+#[inline(always)]
+fn adamw_scalar_step(x: &mut f32, mm: &mut f32, vv: &mut f32, gg: f32, h: &AdamParams) {
+    *mm = h.beta1 * *mm + (1.0 - h.beta1) * gg;
+    *vv = h.beta2 * *vv + (1.0 - h.beta2) * gg * gg;
+    let mhat = *mm / h.bias_c1;
+    let vhat = *vv / h.bias_c2;
+    *x -= h.lr * (mhat / (vhat.sqrt() + h.eps) + h.weight_decay * *x);
+}
+
+// ---------------------------------------------------------------------------
+// x86 vector abstraction + SIMD kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #![allow(clippy::missing_safety_doc)] // blanket contract: see `Vf32`
+    use super::{AdamParams, MicroEpi, WELFORD_CHUNK};
+    use core::arch::x86_64::*;
+
+    /// Lane-parallel f32 vector: the abstraction every SIMD kernel is
+    /// written over, instantiated as [`F32x8`] (AVX2+FMA) and [`F32x16`]
+    /// (AVX-512F).
+    ///
+    /// # Safety
+    ///
+    /// Every method lowers to ISA intrinsics. Callers must only invoke
+    /// them from a context where the matching target features are enabled
+    /// (i.e. inside the `#[target_feature]` wrappers below, after runtime
+    /// detection); the methods are `#[inline(always)]` so they compile to
+    /// single instructions there.
+    pub(super) trait Vf32: Copy {
+        const LANES: usize;
+        unsafe fn splat(v: f32) -> Self;
+        unsafe fn zero() -> Self;
+        unsafe fn load(p: *const f32) -> Self;
+        unsafe fn store(self, p: *mut f32);
+        unsafe fn add(self, o: Self) -> Self;
+        unsafe fn sub(self, o: Self) -> Self;
+        unsafe fn mul(self, o: Self) -> Self;
+        unsafe fn div(self, o: Self) -> Self;
+        /// Lanewise minimum; returns the **second** operand when either
+        /// lane is NaN (x86 `minps` semantics), so `hi.min(x)` propagates
+        /// a NaN in `x`.
+        unsafe fn min(self, o: Self) -> Self;
+        /// Lanewise maximum; NaN semantics as [`Vf32::min`].
+        unsafe fn max(self, o: Self) -> Self;
+        /// `self * b + c`, fused.
+        unsafe fn mul_add(self, b: Self, c: Self) -> Self;
+        /// Lanewise select: `mask` sign bit set → take from `o`, else from
+        /// `self`. Part of the abstraction surface (masked tails, future
+        /// predicated kernels); no current sweep needs it.
+        #[allow(dead_code)]
+        unsafe fn blend(self, o: Self, mask: Self) -> Self;
+        unsafe fn sqrt(self) -> Self;
+        /// `2^(self as i32)` per lane by exponent-field assembly; lanes
+        /// must hold integer-valued floats in `[-126, 127]`.
+        unsafe fn exp2i(self) -> Self;
+        /// Horizontal sum, fixed tree order (halves, then quarters, …).
+        unsafe fn reduce_add(self) -> f32;
+        /// Horizontal max, same tree order.
+        unsafe fn reduce_max(self) -> f32;
+    }
+
+    /// 8 × f32 in one YMM register (AVX2 + FMA tier).
+    #[derive(Clone, Copy)]
+    pub(super) struct F32x8(__m256);
+
+    impl Vf32 for F32x8 {
+        const LANES: usize = 8;
+        #[inline(always)]
+        unsafe fn splat(v: f32) -> Self {
+            F32x8(_mm256_set1_ps(v))
+        }
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            F32x8(_mm256_setzero_ps())
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            F32x8(_mm256_loadu_ps(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            _mm256_storeu_ps(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            F32x8(_mm256_add_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            F32x8(_mm256_sub_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            F32x8(_mm256_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            F32x8(_mm256_div_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn min(self, o: Self) -> Self {
+            F32x8(_mm256_min_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn max(self, o: Self) -> Self {
+            F32x8(_mm256_max_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+            F32x8(_mm256_fmadd_ps(self.0, b.0, c.0))
+        }
+        #[inline(always)]
+        unsafe fn blend(self, o: Self, mask: Self) -> Self {
+            F32x8(_mm256_blendv_ps(self.0, o.0, mask.0))
+        }
+        #[inline(always)]
+        unsafe fn sqrt(self) -> Self {
+            F32x8(_mm256_sqrt_ps(self.0))
+        }
+        #[inline(always)]
+        unsafe fn exp2i(self) -> Self {
+            let n = _mm256_cvttps_epi32(self.0);
+            let e = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+            F32x8(_mm256_castsi256_ps(e))
+        }
+        #[inline(always)]
+        unsafe fn reduce_add(self) -> f32 {
+            let lo = _mm256_castps256_ps128(self.0);
+            let hi = _mm256_extractf128_ps(self.0, 1);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+            _mm_cvtss_f32(s)
+        }
+        #[inline(always)]
+        unsafe fn reduce_max(self) -> f32 {
+            let lo = _mm256_castps256_ps128(self.0);
+            let hi = _mm256_extractf128_ps(self.0, 1);
+            let s = _mm_max_ps(lo, hi);
+            let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+            _mm_cvtss_f32(s)
+        }
+    }
+
+    /// 16 × f32 in one ZMM register (AVX-512F tier).
+    #[derive(Clone, Copy)]
+    pub(super) struct F32x16(__m512);
+
+    impl Vf32 for F32x16 {
+        const LANES: usize = 16;
+        #[inline(always)]
+        unsafe fn splat(v: f32) -> Self {
+            F32x16(_mm512_set1_ps(v))
+        }
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            F32x16(_mm512_setzero_ps())
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            F32x16(_mm512_loadu_ps(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            _mm512_storeu_ps(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn add(self, o: Self) -> Self {
+            F32x16(_mm512_add_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sub(self, o: Self) -> Self {
+            F32x16(_mm512_sub_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul(self, o: Self) -> Self {
+            F32x16(_mm512_mul_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn div(self, o: Self) -> Self {
+            F32x16(_mm512_div_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn min(self, o: Self) -> Self {
+            F32x16(_mm512_min_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn max(self, o: Self) -> Self {
+            F32x16(_mm512_max_ps(self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+            F32x16(_mm512_fmadd_ps(self.0, b.0, c.0))
+        }
+        #[inline(always)]
+        unsafe fn blend(self, o: Self, mask: Self) -> Self {
+            // Sign-bit select via the mask register form (AVX-512 has no
+            // blendv; movepi32_mask extracts lane sign bits).
+            let m = _mm512_movepi32_mask(_mm512_castps_si512(mask.0));
+            F32x16(_mm512_mask_blend_ps(m, self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn sqrt(self) -> Self {
+            F32x16(_mm512_sqrt_ps(self.0))
+        }
+        #[inline(always)]
+        unsafe fn exp2i(self) -> Self {
+            let n = _mm512_cvttps_epi32(self.0);
+            let e = _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23);
+            F32x16(_mm512_castsi512_ps(e))
+        }
+        #[inline(always)]
+        unsafe fn reduce_add(self) -> f32 {
+            // Quarter extraction is plain AVX-512F (extractf32x8 would need
+            // DQ); fold ((q0+q1)+(q2+q3)) then the 128-bit tree.
+            let q0 = _mm512_extractf32x4_ps(self.0, 0);
+            let q1 = _mm512_extractf32x4_ps(self.0, 1);
+            let q2 = _mm512_extractf32x4_ps(self.0, 2);
+            let q3 = _mm512_extractf32x4_ps(self.0, 3);
+            let s = _mm_add_ps(_mm_add_ps(q0, q1), _mm_add_ps(q2, q3));
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+            _mm_cvtss_f32(s)
+        }
+        #[inline(always)]
+        unsafe fn reduce_max(self) -> f32 {
+            let q0 = _mm512_extractf32x4_ps(self.0, 0);
+            let q1 = _mm512_extractf32x4_ps(self.0, 1);
+            let q2 = _mm512_extractf32x4_ps(self.0, 2);
+            let q3 = _mm512_extractf32x4_ps(self.0, 3);
+            let s = _mm_max_ps(_mm_max_ps(q0, q1), _mm_max_ps(q2, q3));
+            let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+            _mm_cvtss_f32(s)
+        }
+    }
+
+    // ---- generic vector math (mirrors the scalar kernels op-for-op) ----
+
+    /// Clamp with NaN propagation: `hi.min(lo.max(x))` keeps `x` in the
+    /// second operand of both ops, so x86 NaN semantics pass NaN through.
+    #[inline(always)]
+    unsafe fn vclamp<V: Vf32>(x: V, lo: V, hi: V) -> V {
+        hi.min(lo.max(x))
+    }
+
+    /// Lane-parallel [`super::exp_fast`], identical operation sequence.
+    #[inline(always)]
+    unsafe fn vexp<V: Vf32>(x: V) -> V {
+        use super::*;
+        let x = vclamp(x, V::splat(EXP_LO), V::splat(EXP_HI));
+        let magic = V::splat(MAGIC);
+        let n = x.mul(V::splat(LOG2E)).add(magic).sub(magic);
+        let r = n.mul_add(V::splat(-LN2_HI), x);
+        let r = n.mul_add(V::splat(-LN2_LO), r);
+        let p = r.mul_add(V::splat(EXP_P0), V::splat(EXP_P1));
+        let p = r.mul_add(p, V::splat(EXP_P2));
+        let p = r.mul_add(p, V::splat(EXP_P3));
+        let p = r.mul_add(p, V::splat(EXP_P4));
+        let p = r.mul_add(p, V::splat(EXP_P5));
+        let er = p.mul(r).mul_add(r, r).add(V::splat(1.0));
+        er.mul(n.exp2i())
+    }
+
+    /// Lane-parallel [`super::tanh_fast`], identical operation sequence.
+    #[inline(always)]
+    unsafe fn vtanh<V: Vf32>(x: V) -> V {
+        use super::*;
+        let x = vclamp(x, V::splat(-TANH_BOUND), V::splat(TANH_BOUND));
+        let x2 = x.mul(x);
+        let p = x2.mul_add(V::splat(TANH_A13), V::splat(TANH_A11));
+        let p = x2.mul_add(p, V::splat(TANH_A9));
+        let p = x2.mul_add(p, V::splat(TANH_A7));
+        let p = x2.mul_add(p, V::splat(TANH_A5));
+        let p = x2.mul_add(p, V::splat(TANH_A3));
+        let p = x.mul(x2.mul_add(p, V::splat(TANH_A1)));
+        let q = x2.mul_add(V::splat(TANH_B6), V::splat(TANH_B4));
+        let q = x2.mul_add(q, V::splat(TANH_B2));
+        let q = x2.mul_add(q, V::splat(TANH_B0));
+        p.div(q)
+    }
+
+    /// Lane-parallel [`super::gelu_scalar`], identical operation sequence.
+    #[inline(always)]
+    unsafe fn vgelu<V: Vf32>(x: V) -> V {
+        use super::*;
+        let x3 = V::splat(GELU_C).mul(x).mul(x).mul(x);
+        let t = vtanh(V::splat(SQRT_2_OVER_PI).mul(x.add(x3)));
+        V::splat(0.5).mul(x).mul(V::splat(1.0).add(t))
+    }
+
+    // ---- generic sweep bodies ----
+
+    #[inline(always)]
+    unsafe fn row_max_v<V: Vf32>(row: &[f32]) -> f32 {
+        let n = row.len() / V::LANES * V::LANES;
+        let p = row.as_ptr();
+        let mut m = super::scalar::row_max(&row[n..]);
+        if n > 0 {
+            let mut acc = V::load(p);
+            let mut i = V::LANES;
+            while i < n {
+                acc = acc.max(V::load(p.add(i)));
+                i += V::LANES;
+            }
+            m = m.max(acc.reduce_max());
+        }
+        m
+    }
+
+    #[inline(always)]
+    unsafe fn row_sum_v<V: Vf32>(row: &[f32]) -> f32 {
+        let n = row.len() / V::LANES * V::LANES;
+        let p = row.as_ptr();
+        let mut acc = V::zero();
+        let mut i = 0;
+        while i < n {
+            acc = acc.add(V::load(p.add(i)));
+            i += V::LANES;
+        }
+        acc.reduce_add() + super::scalar::row_sum(&row[n..])
+    }
+
+    #[inline(always)]
+    unsafe fn exp_sub_sweep_v<V: Vf32>(row: &mut [f32], m: f32) {
+        let n = row.len() / V::LANES * V::LANES;
+        let p = row.as_mut_ptr();
+        let mv = V::splat(m);
+        let mut i = 0;
+        while i < n {
+            vexp(V::load(p.add(i)).sub(mv)).store(p.add(i));
+            i += V::LANES;
+        }
+        super::scalar::exp_sub_sweep(&mut row[n..], m);
+    }
+
+    #[inline(always)]
+    unsafe fn gelu_ptr_v<V: Vf32>(src: *const f32, dst: *mut f32, len: usize) {
+        let n = len / V::LANES * V::LANES;
+        let mut i = 0;
+        while i < n {
+            vgelu(V::load(src.add(i))).store(dst.add(i));
+            i += V::LANES;
+        }
+        for j in n..len {
+            *dst.add(j) = super::gelu_scalar(*src.add(j));
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn welford_v<V: Vf32>(row: &[f32]) -> (f32, f32) {
+        let n = row.len();
+        let mut mean = 0.0f32;
+        let mut m2 = 0.0f32;
+        let mut count = 0usize;
+        for chunk in row.chunks(WELFORD_CHUNK) {
+            let shift = chunk[0];
+            let nv = chunk.len() / V::LANES * V::LANES;
+            let p = chunk.as_ptr();
+            let sv = V::splat(shift);
+            let mut sacc = V::zero();
+            let mut s2acc = V::zero();
+            let mut i = 0;
+            while i < nv {
+                let v = V::load(p.add(i)).sub(sv);
+                sacc = sacc.add(v);
+                s2acc = v.mul_add(v, s2acc);
+                i += V::LANES;
+            }
+            let mut s = sacc.reduce_add();
+            let mut s2 = s2acc.reduce_add();
+            for &x in &chunk[nv..] {
+                let v = x - shift;
+                s += v;
+                s2 = v.mul_add(v, s2);
+            }
+            let (mean2, m22) = super::combine_chunk(mean, m2, count, shift, s, s2, chunk.len());
+            mean = mean2;
+            m2 = m22;
+            count += chunk.len();
+        }
+        (mean, m2 / n as f32)
+    }
+
+    #[inline(always)]
+    unsafe fn adamw_v<V: Vf32>(
+        p: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        g: &[f32],
+        h: &AdamParams,
+    ) {
+        let n = p.len() / V::LANES * V::LANES;
+        let (b1, b2) = (V::splat(h.beta1), V::splat(h.beta2));
+        let (ob1, ob2) = (V::splat(1.0 - h.beta1), V::splat(1.0 - h.beta2));
+        let (bc1, bc2) = (V::splat(h.bias_c1), V::splat(h.bias_c2));
+        let (lr, eps, wd) = (V::splat(h.lr), V::splat(h.eps), V::splat(h.weight_decay));
+        let (pp, mp, vp, gp) = (p.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let gg = V::load(gp.add(i));
+            // Same op order as `adamw_scalar_step`: (β·m) + ((1−β)·g),
+            // no FMA contraction, so lanes round like the scalar path.
+            let mm = b1.mul(V::load(mp.add(i))).add(ob1.mul(gg));
+            let vv = b2.mul(V::load(vp.add(i))).add(ob2.mul(gg).mul(gg));
+            mm.store(mp.add(i));
+            vv.store(vp.add(i));
+            let mhat = mm.div(bc1);
+            let vhat = vv.div(bc2);
+            let x = V::load(pp.add(i));
+            let upd = mhat.div(vhat.sqrt().add(eps)).add(wd.mul(x));
+            x.sub(lr.mul(upd)).store(pp.add(i));
+            i += V::LANES;
+        }
+        for j in n..p.len() {
+            super::adamw_scalar_step(&mut p[j], &mut m[j], &mut v[j], g[j], h);
+        }
+    }
+
+    /// GEMM micro-kernel over packed panels: `C[0..mr, 0..nr] (epi)=
+    /// Ap(kc×MRV) · Bp(kc×NRV)` where `NRV = 2·LANES`. Accumulators live
+    /// in `MRV × 2` vector registers; the k loop broadcasts one A element
+    /// per row and feeds two FMAs. Full tiles store straight from the
+    /// registers with the epilogue fused; edge tiles spill to a scratch
+    /// array and store scalar.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_micro_v<V: Vf32, const MRV: usize>(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        let nrv = 2 * V::LANES;
+        let mut acc = [[V::zero(); 2]; MRV];
+        let mut p = 0;
+        while p < kc {
+            let b0 = V::load(bp.add(p * nrv));
+            let b1 = V::load(bp.add(p * nrv + V::LANES));
+            let a = ap.add(p * MRV);
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let ai = V::splat(*a.add(i));
+                accr[0] = ai.mul_add(b0, accr[0]);
+                accr[1] = ai.mul_add(b1, accr[1]);
+            }
+            p += 1;
+        }
+        if mr == MRV && nr == nrv {
+            match epi {
+                MicroEpi::Add => {
+                    for (i, a) in acc.iter().enumerate() {
+                        let cp = c.add(i * ldc);
+                        V::load(cp).add(a[0]).store(cp);
+                        let cp1 = cp.add(V::LANES);
+                        V::load(cp1).add(a[1]).store(cp1);
+                    }
+                }
+                MicroEpi::AddBias(bias) => {
+                    // Matches the scalar epilogue's `c + (acc + bias)`.
+                    let bv0 = V::load(bias.as_ptr());
+                    let bv1 = V::load(bias.as_ptr().add(V::LANES));
+                    for (i, a) in acc.iter().enumerate() {
+                        let cp = c.add(i * ldc);
+                        V::load(cp).add(a[0].add(bv0)).store(cp);
+                        let cp1 = cp.add(V::LANES);
+                        V::load(cp1).add(a[1].add(bv1)).store(cp1);
+                    }
+                }
+                MicroEpi::Assign => {
+                    for (i, a) in acc.iter().enumerate() {
+                        let cp = c.add(i * ldc);
+                        a[0].store(cp);
+                        a[1].store(cp.add(V::LANES));
+                    }
+                }
+            }
+        } else {
+            let mut tmp = [0.0f32; super::GEMM_MAX_MR * super::GEMM_MAX_NR];
+            for (i, a) in acc.iter().enumerate().take(mr) {
+                a[0].store(tmp.as_mut_ptr().add(i * nrv));
+                a[1].store(tmp.as_mut_ptr().add(i * nrv + V::LANES));
+            }
+            for i in 0..mr {
+                let crow = std::slice::from_raw_parts_mut(c.add(i * ldc), nr);
+                let trow = &tmp[i * nrv..i * nrv + nr];
+                match epi {
+                    MicroEpi::Add => {
+                        for (cv, &t) in crow.iter_mut().zip(trow) {
+                            *cv += t;
+                        }
+                    }
+                    MicroEpi::AddBias(bias) => {
+                        for ((cv, &t), &bv) in crow.iter_mut().zip(trow).zip(bias) {
+                            *cv += t + bv;
+                        }
+                    }
+                    MicroEpi::Assign => crow.copy_from_slice(trow),
+                }
+            }
+        }
+    }
+
+    // ---- #[target_feature] wrappers (the only non-inlined SIMD symbols) --
+
+    macro_rules! isa_wrappers {
+        ($feat:literal, $v:ty, $mrv:expr, $mod_name:ident) => {
+            pub(super) mod $mod_name {
+                use super::*;
+
+                #[target_feature(enable = $feat)]
+                pub unsafe fn row_max(row: &[f32]) -> f32 {
+                    row_max_v::<$v>(row)
+                }
+                #[target_feature(enable = $feat)]
+                pub unsafe fn row_sum(row: &[f32]) -> f32 {
+                    row_sum_v::<$v>(row)
+                }
+                #[target_feature(enable = $feat)]
+                pub unsafe fn exp_sub_sweep(row: &mut [f32], m: f32) {
+                    exp_sub_sweep_v::<$v>(row, m)
+                }
+                #[target_feature(enable = $feat)]
+                pub unsafe fn gelu_into(src: &[f32], dst: &mut [f32]) {
+                    debug_assert_eq!(src.len(), dst.len());
+                    gelu_ptr_v::<$v>(src.as_ptr(), dst.as_mut_ptr(), dst.len())
+                }
+                #[target_feature(enable = $feat)]
+                pub unsafe fn gelu_sweep(row: &mut [f32]) {
+                    gelu_ptr_v::<$v>(row.as_ptr(), row.as_mut_ptr(), row.len())
+                }
+                #[target_feature(enable = $feat)]
+                pub unsafe fn welford_stats(row: &[f32]) -> (f32, f32) {
+                    welford_v::<$v>(row)
+                }
+                #[target_feature(enable = $feat)]
+                pub unsafe fn adamw(
+                    p: &mut [f32],
+                    m: &mut [f32],
+                    v: &mut [f32],
+                    g: &[f32],
+                    h: &AdamParams,
+                ) {
+                    adamw_v::<$v>(p, m, v, g, h)
+                }
+                #[target_feature(enable = $feat)]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn gemm_micro(
+                    kc: usize,
+                    ap: &[f32],
+                    bp: &[f32],
+                    c: *mut f32,
+                    ldc: usize,
+                    mr: usize,
+                    nr: usize,
+                    epi: MicroEpi<'_>,
+                ) {
+                    gemm_micro_v::<$v, $mrv>(kc, ap.as_ptr(), bp.as_ptr(), c, ldc, mr, nr, epi)
+                }
+            }
+        };
+    }
+
+    isa_wrappers!("avx2,fma", F32x8, 6, avx2);
+    isa_wrappers!("avx512f", F32x16, 8, avx512);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($isa:expr, $name:ident ( $($arg:expr),* )) => {{
+        // Unconditional: `Isa` is freely constructible by safe code, and
+        // entering a #[target_feature] kernel the CPU lacks is UB, so the
+        // (cheap, atomic-cached) feature check is a soundness guard, not a
+        // debug aid.
+        assert!($isa.supported(), "ISA {:?} not runnable on this host", $isa);
+        match $isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `supported()` was just asserted, so the target
+            // features this wrapper enables are present on this CPU.
+            Isa::Avx512 => unsafe { x86::avx512::$name($($arg),*) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Isa::Avx2 => unsafe { x86::avx2::$name($($arg),*) },
+            #[allow(unreachable_patterns)]
+            _ => scalar::$name($($arg),*),
+        }
+    }};
+}
+
+/// Row maximum (softmax's first pass). NaN handling follows the scalar
+/// `f32::max` fold only on the Scalar ISA; SIMD paths use x86 max
+/// semantics — rows with NaN are unspecified (softmax is garbage on NaN
+/// input either way).
+pub fn row_max(row: &[f32]) -> f32 {
+    row_max_isa(active_isa(), row)
+}
+
+/// [`row_max`] on an explicit ISA (must be in [`Isa::available`]).
+pub fn row_max_isa(isa: Isa, row: &[f32]) -> f32 {
+    dispatch!(isa, row_max(row))
+}
+
+/// Row sum (softmax's normalizer pass). SIMD lanes fold in a fixed tree
+/// order, so the result differs from the scalar left-to-right sum by a few
+/// ulps but is identical for a given ISA at any thread count.
+pub fn row_sum(row: &[f32]) -> f32 {
+    row_sum_isa(active_isa(), row)
+}
+
+/// [`row_sum`] on an explicit ISA.
+pub fn row_sum_isa(isa: Isa, row: &[f32]) -> f32 {
+    dispatch!(isa, row_sum(row))
+}
+
+/// `x ← exp_fast(x − m)` over a row: the softmax / flash-attention
+/// exponential sweep. Per-element results are identical on every ISA (same
+/// IEEE op sequence per lane).
+pub fn exp_sub_sweep(row: &mut [f32], m: f32) {
+    exp_sub_sweep_isa(active_isa(), row, m)
+}
+
+/// [`exp_sub_sweep`] on an explicit ISA.
+pub fn exp_sub_sweep_isa(isa: Isa, row: &mut [f32], m: f32) {
+    dispatch!(isa, exp_sub_sweep(row, m))
+}
+
+/// `dst ← gelu(src)` (tanh approximation), lane-parallel.
+pub fn gelu_into(src: &[f32], dst: &mut [f32]) {
+    gelu_into_isa(active_isa(), src, dst)
+}
+
+/// [`gelu_into`] on an explicit ISA.
+pub fn gelu_into_isa(isa: Isa, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "gelu_into length mismatch");
+    dispatch!(isa, gelu_into(src, dst))
+}
+
+/// In-place GELU sweep.
+pub fn gelu_sweep(row: &mut [f32]) {
+    gelu_sweep_isa(active_isa(), row)
+}
+
+/// [`gelu_sweep`] on an explicit ISA.
+pub fn gelu_sweep_isa(isa: Isa, row: &mut [f32]) {
+    dispatch!(isa, gelu_sweep(row))
+}
+
+/// Single-sweep `(mean, variance)` of one row via chunked Welford
+/// ([`WELFORD_CHUNK`]-element chunks, Chan combine). The in-chunk sums are
+/// lane-parallel on SIMD ISAs; the combine is identical everywhere.
+pub fn welford_stats(row: &[f32]) -> (f32, f32) {
+    welford_stats_isa(active_isa(), row)
+}
+
+/// [`welford_stats`] on an explicit ISA.
+pub fn welford_stats_isa(isa: Isa, row: &[f32]) -> (f32, f32) {
+    dispatch!(isa, welford_stats(row))
+}
+
+/// Hyper-parameters for one fused AdamW sweep step (bias corrections
+/// precomputed by the optimizer).
+#[derive(Clone, Copy, Debug)]
+pub struct AdamParams {
+    pub beta1: f32,
+    pub beta2: f32,
+    /// `1 − β1^t`.
+    pub bias_c1: f32,
+    /// `1 − β2^t`.
+    pub bias_c2: f32,
+    pub lr: f32,
+    pub eps: f32,
+    /// Decoupled weight decay (0 for exempt parameters).
+    pub weight_decay: f32,
+}
+
+/// Fused in-place AdamW update over one parameter: moments and parameter
+/// mutate their own buffers in a single lane-parallel sweep. Per-element
+/// results match the scalar path (same IEEE op sequence per lane).
+pub fn adamw_sweep(p: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], h: &AdamParams) {
+    adamw_sweep_isa(active_isa(), p, m, v, g, h)
+}
+
+/// [`adamw_sweep`] on an explicit ISA.
+pub fn adamw_sweep_isa(
+    isa: Isa,
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    h: &AdamParams,
+) {
+    assert!(
+        p.len() == m.len() && p.len() == v.len() && p.len() == g.len(),
+        "adamw_sweep length mismatch"
+    );
+    dispatch!(isa, adamw(p, m, v, g, h))
+}
+
+/// The GEMM register micro-kernel: `C[0..mr, 0..nr] (epi)= Ap·Bp` over
+/// packed micro-panels (`ap` MR-interleaved, `bp` NR-interleaved for this
+/// ISA's tile shape, both zero-padded to full MR/NR).
+///
+/// # Safety
+///
+/// `c` must point at an exclusive `mr × nr` window with row stride `ldc`
+/// elements, valid for reads and writes; `ap`/`bp` must hold at least
+/// `kc·MR` / `kc·NR` packed elements; `isa` must be runnable on this host
+/// (obtain it from [`active_isa`] / [`Isa::available`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_microkernel(
+    isa: Isa,
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    epi: MicroEpi<'_>,
+) {
+    dispatch!(isa, gemm_micro(kc, ap, bp, c, ldc, mr, nr, epi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Ulp distance between two finite f32 (0 when bitwise equal or both
+    /// NaN).
+    fn ulps(a: f32, b: f32) -> u64 {
+        if a.is_nan() && b.is_nan() {
+            return 0;
+        }
+        fn key(x: f32) -> i64 {
+            let b = x.to_bits();
+            if b & 0x8000_0000 != 0 {
+                -((b & 0x7fff_ffff) as i64)
+            } else {
+                b as i64
+            }
+        }
+        (key(a) - key(b)).unsigned_abs()
+    }
+
+    fn rand_vec(n: usize, scale: f32, seed: u64) -> Vec<f32> {
+        let mut rng = Rng::new(seed);
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(&mut v, scale);
+        v
+    }
+
+    #[test]
+    fn active_isa_is_available() {
+        assert!(active_isa().supported());
+        assert!(Isa::available().ends_with(&[Isa::Scalar]));
+    }
+
+    #[test]
+    fn elementwise_sweeps_match_scalar_within_ulps() {
+        // Lengths off the lane multiple exercise every tail path.
+        for &len in &[1usize, 7, 8, 15, 16, 17, 33, 130] {
+            let src = rand_vec(len, 3.0, len as u64);
+            for isa in Isa::available() {
+                // exp(x − m)
+                let m = 1.25f32;
+                let mut got = src.clone();
+                exp_sub_sweep_isa(isa, &mut got, m);
+                for (&x, &y) in got.iter().zip(&src) {
+                    let want = exp_fast(y - m);
+                    assert!(
+                        ulps(x, want) <= 2,
+                        "{:?} exp len {len}: {x} vs {want}",
+                        isa.name()
+                    );
+                }
+                // gelu into + in place
+                let mut dst = vec![0.0f32; len];
+                gelu_into_isa(isa, &src, &mut dst);
+                let mut inplace = src.clone();
+                gelu_sweep_isa(isa, &mut inplace);
+                for ((&g1, &g2), &y) in dst.iter().zip(&inplace).zip(&src) {
+                    let want = gelu_scalar(y);
+                    assert!(ulps(g1, want) <= 2, "{:?} gelu: {g1} vs {want}", isa.name());
+                    assert_eq!(g1.to_bits(), g2.to_bits(), "into vs in-place");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exp_sweep_handles_clamped_tails() {
+        // The boundary values repeat past the widest lane count (16) so
+        // the *vector* clamp/exp2i path processes them, not just the
+        // scalar tail.
+        let boundary = [-1000.0f32, 1000.0, 0.0, -87.0, 88.0, -126.0, 127.0, 0.5];
+        let src: Vec<f32> = boundary.iter().cycle().take(3 * boundary.len()).copied().collect();
+        for isa in Isa::available() {
+            let mut row = src.clone();
+            exp_sub_sweep_isa(isa, &mut row, 0.0);
+            assert!(row[0] > 0.0 && row[0] < 1e-37, "{:?}", isa.name());
+            assert!(row[1].is_finite());
+            assert_eq!(row[2], 1.0);
+            for (j, &x) in row.iter().enumerate() {
+                assert!(
+                    ulps(x, exp_fast(src[j])) <= 2,
+                    "{:?} elem {j} ({})",
+                    isa.name(),
+                    src[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_match_scalar_within_tolerance() {
+        for &len in &[1usize, 5, 16, 31, 64, 130, 301] {
+            let row = rand_vec(len, 2.0, 7 + len as u64);
+            let want_max = scalar::row_max(&row);
+            let want_sum = scalar::row_sum(&row);
+            for isa in Isa::available() {
+                // max is an exact op: any fold order gives the same value.
+                assert_eq!(row_max_isa(isa, &row), want_max, "{:?} len {len}", isa.name());
+                let sum = row_sum_isa(isa, &row);
+                let tol = 1e-5 * (len as f32).sqrt() * 2.0 + 1e-6;
+                assert!(
+                    (sum - want_sum).abs() <= tol,
+                    "{:?} len {len}: {sum} vs {want_sum}",
+                    isa.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn welford_matches_scalar_and_naive() {
+        for &len in &[1usize, 3, 64, 65, 130, 301] {
+            // Offset mean exercises the cancellation robustness.
+            let row: Vec<f32> = rand_vec(len, 1.0, 11 + len as u64)
+                .into_iter()
+                .map(|v| v + 100.0)
+                .collect();
+            let (smu, svar) = scalar::welford_stats(&row);
+            for isa in Isa::available() {
+                let (mu, var) = welford_stats_isa(isa, &row);
+                assert!((mu - smu).abs() < 1e-3, "{:?} len {len}: {mu} vs {smu}", isa.name());
+                assert!(
+                    (var - svar).abs() <= 1e-3 * svar.max(1.0),
+                    "{:?} len {len}: {var} vs {svar}",
+                    isa.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adamw_matches_scalar_within_ulps() {
+        let h = AdamParams {
+            beta1: 0.9,
+            beta2: 0.999,
+            bias_c1: 0.1,
+            bias_c2: 0.001,
+            lr: 1e-3,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        };
+        for &len in &[1usize, 15, 16, 17, 130] {
+            let p0 = rand_vec(len, 1.0, 21);
+            let m0 = rand_vec(len, 0.1, 22);
+            let v0: Vec<f32> = rand_vec(len, 0.1, 23).iter().map(|x| x * x).collect();
+            let g = rand_vec(len, 1.0, 24);
+            let (mut ps, mut ms, mut vs) = (p0.clone(), m0.clone(), v0.clone());
+            scalar::adamw(&mut ps, &mut ms, &mut vs, &g, &h);
+            for isa in Isa::available() {
+                let (mut p, mut m, mut v) = (p0.clone(), m0.clone(), v0.clone());
+                adamw_sweep_isa(isa, &mut p, &mut m, &mut v, &g, &h);
+                for i in 0..len {
+                    assert!(
+                        ulps(p[i], ps[i]) <= 2 && ulps(m[i], ms[i]) <= 2 && ulps(v[i], vs[i]) <= 2,
+                        "{:?} len {len} i {i}: {} vs {}",
+                        isa.name(),
+                        p[i],
+                        ps[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn micro_kernel_isas_agree_on_packed_panels() {
+        // Drive the micro-kernel directly on synthetic packed panels for
+        // every (mr, nr) edge of each ISA, against an f64 reference.
+        for isa in Isa::available() {
+            let (mrv, nrv) = gemm_tile_shape(isa);
+            for &kc in &[1usize, 2, 3, 65] {
+                for &mr in &[1usize, mrv - 1, mrv] {
+                    for &nr in &[1usize, nrv - 1, nrv] {
+                        let ap = rand_vec(kc * mrv, 1.0, (kc * 31 + mr) as u64);
+                        let bp = rand_vec(kc * nrv, 1.0, (kc * 37 + nr) as u64);
+                        let mut c = vec![0.5f32; mr * nr];
+                        unsafe {
+                            gemm_microkernel(
+                                isa,
+                                kc,
+                                &ap,
+                                &bp,
+                                c.as_mut_ptr(),
+                                nr,
+                                mr,
+                                nr,
+                                MicroEpi::Add,
+                            );
+                        }
+                        for i in 0..mr {
+                            for j in 0..nr {
+                                let mut want = 0.5f64;
+                                for p in 0..kc {
+                                    want += ap[p * mrv + i] as f64 * bp[p * nrv + j] as f64;
+                                }
+                                let got = c[i * nr + j];
+                                assert!(
+                                    (got as f64 - want).abs() < 1e-4 * kc as f64,
+                                    "{:?} kc={kc} mr={mr} nr={nr} ({i},{j}): {got} vs {want}",
+                                    isa.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
