@@ -351,6 +351,15 @@ fn emit_collectives_json(_c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--test");
     let mut lines: Vec<String> = Vec::new();
 
+    // Overlap numbers are only meaningful relative to the cores that ran
+    // them: on a single-core host the chunk pipeline can eliminate
+    // rendezvous stalls but never hide reduction work behind compute, so
+    // `overlap_fraction` legitimately reads ≈ 0 there. Recording `threads`
+    // (and the explicit flag) next to every overlap number keeps a 0.00
+    // from being misread as a pipeline regression.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let single_core = threads == 1;
+
     for &world in &[1usize, 2, 4, 8] {
         let comm_only = median_run(|| allreduce_rounds(world, false, true, false), quick);
         let compute_only = median_run(|| allreduce_rounds(world, false, false, true), quick);
@@ -360,7 +369,8 @@ fn emit_collectives_json(_c: &mut Criterion) {
         lines.push(format!(
             "\"allreduce_1MiB_w{world}\": {{ \"blocking_ns\": {blocking:.0}, \"pipelined_ns\": {pipelined:.0}, \
              \"comm_ns\": {comm_only:.0}, \"compute_ns\": {compute_only:.0}, \
-             \"overlap_fraction\": {frac:.2}, \"chunks\": {} }}",
+             \"overlap_fraction\": {frac:.2}, \"chunks\": {}, \
+             \"threads\": {threads}, \"single_core\": {single_core} }}",
             OVERLAP_ELEMS.div_ceil(dchag_collectives::COMM_CHUNK_ELEMS)
         ));
     }
@@ -372,7 +382,7 @@ fn emit_collectives_json(_c: &mut Criterion) {
         let frac = overlap_fraction(blocking, pipelined, comm_only);
         lines.push(format!(
             "\"reduce_scatter_1MiB_w4\": {{ \"blocking_ns\": {blocking:.0}, \"pipelined_ns\": {pipelined:.0}, \
-             \"overlap_fraction\": {frac:.2} }}"
+             \"overlap_fraction\": {frac:.2}, \"threads\": {threads}, \"single_core\": {single_core} }}"
         ));
     }
 
@@ -387,8 +397,46 @@ fn emit_collectives_json(_c: &mut Criterion) {
         lines.push(format!(
             "\"dp_bucketed_backward_w{world}\": {{ \"blocking_ns\": {blocking:.0}, \"overlapped_ns\": {overlapped:.0}, \
              \"compute_ns\": {compute_only:.0}, \"overlap_fraction\": {frac:.2}, \
+             \"threads\": {threads}, \"single_core\": {single_core}, \
              \"dp_parity_bitwise\": {dp_ok}, \"fsdp_parity_bitwise\": {fsdp_ok} }}"
         ));
+    }
+
+    // Topology-measured α-β: fit the running host's fabric from this
+    // run's own chunk timestamps (varying payloads give the slope its
+    // lever) and record the fit next to the sizes it would install, so
+    // the Frontier cold-start constants are auditable against reality.
+    {
+        let run = run_ranks(4, |ctx| {
+            for round in 0..10 {
+                let n = dchag_collectives::COMM_CHUNK_ELEMS * (1 + 7 * (round % 2));
+                let _ = ctx.comm.iall_reduce_sum(&Tensor::full([n], 1.0)).wait();
+            }
+            ctx.comm.barrier();
+            dchag_parallel::measured_alpha_beta(ctx.comm.traffic().as_ref())
+        });
+        let line = match run.outputs[0] {
+            Some((alpha, bw)) => {
+                let machine = dchag_perf::MachineSpec::measured(alpha, bw);
+                let chunk = dchag_perf::comm::optimal_chunk_elems(
+                    &machine,
+                    30_000_000.0 * 4.0 / 8.0, // the w4 adaptive bucket's payload
+                    4,
+                    dchag_perf::comm::Wire::Intra,
+                );
+                format!(
+                    "\"measured_alpha_beta\": {{ \"alpha_us\": {:.3}, \"bw_mb_s\": {:.1}, \
+                     \"chunk_elems_derived_w4\": {chunk}, \"threads\": {threads} }}",
+                    alpha * 1e6,
+                    bw / 1e6
+                )
+            }
+            None => format!(
+                "\"measured_alpha_beta\": {{ \"fit\": null, \"threads\": {threads}, \
+                 \"note\": \"unidentifiable sample set; Frontier constants in force\" }}"
+            ),
+        };
+        lines.push(line);
     }
 
     lines.push(format!(

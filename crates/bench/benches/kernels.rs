@@ -178,6 +178,66 @@ fn bench_gemm_blocking(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ragged (non-tile-multiple) shapes: the masked-tail + SIMD-pack fast
+/// path vs the retained pre-PR edge-spill kernel
+/// (`ops::gemm::bench_api::gemm_edge_spill_baseline` — scalar gather
+/// packing, scratch-spill edge stores). Both sides run the serial blocked
+/// driver, so the delta isolates the ragged-path rework.
+fn bench_gemm_ragged(c: &mut Criterion) {
+    use dchag_tensor::ops::gemm::bench_api;
+    let mut g = c.benchmark_group("gemm_ragged");
+    for &n in &[129usize, 257] {
+        let mut rng = Rng::new(41);
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::new("edge_spill_nn", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                bench_api::gemm_edge_spill_baseline(
+                    ops::GemmLayout::NN, 1.0, a.data(), b.data(), &mut out, n, n, n,
+                );
+                black_box(out)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("masked_nn", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                bench_api::gemm_fast_serial(
+                    ops::GemmLayout::NN, 1.0, a.data(), b.data(), &mut out, n, n, n,
+                );
+                black_box(out)
+            })
+        });
+    }
+    // Ragged batched product through the flattened (batch × tile) grid.
+    let mut rng = Rng::new(42);
+    let (bs, m, k, n) = (6usize, 161usize, 67usize, 161usize);
+    let a = Tensor::randn([bs, m, k], 1.0, &mut rng);
+    let b = Tensor::randn([bs, k, n], 1.0, &mut rng);
+    g.bench_function("bmm_ragged_edge_spill_6x161x67x161", |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; bs * m * n];
+            for bi in 0..bs {
+                bench_api::gemm_edge_spill_baseline(
+                    ops::GemmLayout::NN,
+                    1.0,
+                    &a.data()[bi * m * k..(bi + 1) * m * k],
+                    &b.data()[bi * k * n..(bi + 1) * k * n],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("bmm_ragged_batched_6x161x67x161", |bench| {
+        bench.iter(|| black_box(ops::bmm(&a, &b)))
+    });
+    g.finish();
+}
+
 fn bench_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
     for &n in &[64usize, 128, 256] {
@@ -345,6 +405,87 @@ fn emit_kernels_json(_c: &mut Criterion) {
         }
     }
 
+    // Ragged shapes: before = the pre-PR edge-spill kernel (kept runnable
+    // in bench_api), after = the masked-tail + SIMD-pack + batched-grid
+    // fast path. tile+1 (257³) maximizes edge strips; the small-k shape is
+    // the pack-bound regime the SIMD transpose pack targets.
+    {
+        use dchag_tensor::ops::gemm::bench_api;
+        for &(m, k, n) in &[(257usize, 257usize, 257usize), (257, 16, 257)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let flops = 2 * m * k * n;
+            let before = measure_ns(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    bench_api::gemm_edge_spill_baseline(
+                        ops::GemmLayout::NN, 1.0, a.data(), b.data(), &mut out, m, k, n,
+                    );
+                    black_box(&out);
+                },
+                quick,
+            );
+            // Serial-vs-serial on purpose: the public `matmul` would
+            // parallelize on multi-core hosts while the baseline cannot,
+            // conflating thread scaling with the kernel rework.
+            let after = measure_ns(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    bench_api::gemm_fast_serial(
+                        ops::GemmLayout::NN, 1.0, a.data(), b.data(), &mut out, m, k, n,
+                    );
+                    black_box(&out);
+                },
+                quick,
+            );
+            entries.push((format!("gemm_ragged_{m}x{k}x{n}"), before, after, flops));
+        }
+        // Pack time split out: one MC×KC A-panel gather pack (the strided
+        // case), scalar loop vs 8×8 shuffle transpose — the claim that
+        // small-k shapes are pack-bound is only checkable with this
+        // measured separately.
+        let (m, k) = (257usize, 257usize);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let mut buf = vec![0.0f32; bench_api::pack_a_buf_len()];
+        let before = measure_ns(
+            || { black_box(bench_api::pack_a_block(false, a.data(), m, k, &mut buf)); },
+            quick,
+        );
+        let after = measure_ns(
+            || { black_box(bench_api::pack_a_block(true, a.data(), m, k, &mut buf)); },
+            quick,
+        );
+        entries.push(("pack_a_gather_120x256".into(), before, after, 0));
+        // Ragged bmm: per-batch edge-spill loop vs the flattened
+        // (batch × tile) dispatcher (single-core hosts still see the
+        // masked-tail/pack win; multi-core adds the blended parallelism).
+        let (bs, m, k, n) = (6usize, 161usize, 67usize, 161usize);
+        let ab = Tensor::randn([bs, m, k], 1.0, &mut rng);
+        let bb = Tensor::randn([bs, k, n], 1.0, &mut rng);
+        let flops = 2 * bs * m * k * n;
+        let before = measure_ns(
+            || {
+                let mut out = vec![0.0f32; bs * m * n];
+                for bi in 0..bs {
+                    bench_api::gemm_edge_spill_baseline(
+                        ops::GemmLayout::NN,
+                        1.0,
+                        &ab.data()[bi * m * k..(bi + 1) * m * k],
+                        &bb.data()[bi * k * n..(bi + 1) * k * n],
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                black_box(&out);
+            },
+            quick,
+        );
+        let after = measure_ns(|| { black_box(ops::bmm(&ab, &bb)); }, quick);
+        entries.push((format!("bmm_ragged_batch_{bs}x{m}x{k}x{n}"), before, after, flops));
+    }
+
     let x = Tensor::randn([512, 256], 1.0, &mut rng);
     let gamma = Tensor::ones([256]);
     let beta = Tensor::zeros([256]);
@@ -469,12 +610,19 @@ fn emit_kernels_json(_c: &mut Criterion) {
     let desc = "Seed scalar kernels (before) vs explicit-SIMD blocked GEMM + fused transformer \
                 kernels (after); ns per call, median; gflops = effective after-side GFLOP/s. The \
                 simd section records the runtime-detected ISA the after numbers ran on. \
-                attention_* entries compare the naive bmm_nt_scaled->softmax->bmm chain against \
-                the tiled online-softmax flash kernel, with analytic peak-resident-bytes per \
-                variant. The collectives section (maintained by `cargo bench --bench \
-                collectives`) compares blocking vs pipelined chunked collectives, reports the \
-                measured comm/compute overlap fraction, and records the alpha-beta-derived \
-                adaptive bucket/chunk sizes next to the fixed fallbacks.";
+                gemm_ragged_*/bmm_ragged_batch/pack_a_gather entries instead use the PR-4 \
+                edge-spill kernel (scalar gather packing, scratch-spill edge stores, kept \
+                runnable in bench_api) as the before side, isolating the masked-tail + SIMD-pack \
+                + batched-grid rework; pack_a_gather splits pack time out of the pack-bound \
+                small-k claim. attention_* entries compare the naive bmm_nt_scaled->softmax->bmm \
+                chain against the tiled online-softmax flash kernel, with analytic \
+                peak-resident-bytes per variant. The collectives section (maintained by `cargo \
+                bench --bench collectives`) compares blocking vs pipelined chunked collectives, \
+                reports the measured comm/compute overlap fraction with the host's thread count \
+                recorded next to it (single_core=true means the pipeline can only eliminate \
+                rendezvous stalls, so ~0 overlap is expected, not a regression), records the \
+                alpha-beta-derived adaptive bucket/chunk sizes next to the fixed fallbacks, and \
+                fits measured_alpha_beta from the run's own TrafficLog chunk timestamps.";
     let isa = dchag_tensor::simd::active_isa();
     let (mr, nr) = dchag_tensor::simd::gemm_tile_shape(isa);
     let simd = format!(
@@ -608,6 +756,6 @@ fn bench_autograd_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_gemm_blocking, bench_fusion, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead, emit_kernels_json
+    targets = bench_matmul, bench_gemm_blocking, bench_gemm_ragged, bench_fusion, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead, emit_kernels_json
 }
 criterion_main!(benches);

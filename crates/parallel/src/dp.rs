@@ -117,6 +117,77 @@ pub fn apply_adaptive_comm_sizing(total_elems: usize, world: usize) -> (usize, u
     (bucket, chunk)
 }
 
+/// α and bandwidth of the **running host's** comm fabric, fit from the
+/// chunk timestamps a [`dchag_collectives::TrafficLog`] already records.
+///
+/// Chunk events are aggregated per *collective round* (their `coll_seq`):
+/// a round contributes one `(Σ bytes_on_wire, last done − ready)` sample —
+/// the wall time from the round becoming runnable to its final chunk
+/// retiring, over the bytes it moved. The least-squares α-β fit
+/// (`dchag_perf::comm::estimate_alpha_beta`) then reads α as the
+/// per-collective launch/claim overhead (the same quantity
+/// `MachineSpec::alpha_*` models) and the slope as sustained wire
+/// bandwidth. The first few collectives of a run suffice, provided their
+/// payloads vary — DDP's ragged tail bucket supplies that naturally.
+/// `None` until the log holds an identifiable sample set (≥ 4 rounds of
+/// ≥ 2 distinct sizes); callers stay on the
+/// [`MachineSpec::frontier`](dchag_perf::MachineSpec::frontier) constants.
+pub fn measured_alpha_beta(log: &dchag_collectives::TrafficLog) -> Option<(f64, f64)> {
+    use std::collections::BTreeMap;
+    // (bytes, ready_us, last_done_us) per round. `ready_us` is stamped
+    // once per round at schedule freeze, so any event's copy is the
+    // round's; unattributed events (coll_seq sentinel) are dropped rather
+    // than merged into one fake round. BTreeMap, not HashMap: the fit
+    // sums f64 terms in sample order, so iteration order is part of the
+    // result's rounding — seq order keeps the fit identical on every
+    // rank (the SPMD claim below) and across repeated calls.
+    let mut rounds: BTreeMap<usize, (f64, f64, f64)> = BTreeMap::new();
+    for e in log.chunk_events() {
+        if e.coll_seq == usize::MAX {
+            continue;
+        }
+        let r = rounds.entry(e.coll_seq).or_insert((0.0, e.ready_us, e.done_us));
+        r.0 += e.bytes_on_wire as f64;
+        r.2 = r.2.max(e.done_us);
+    }
+    let samples: Vec<(f64, f64)> = rounds
+        .values()
+        .map(|&(bytes, ready, done)| (bytes, (done - ready).max(0.0) * 1e-6))
+        .collect();
+    dchag_perf::comm::estimate_alpha_beta(&samples)
+}
+
+/// Close the α-β loop on hosts that are not Frontier: fit the fabric from
+/// the traffic log ([`measured_alpha_beta`]) and install bucket/chunk
+/// sizes derived from the *measured* machine
+/// ([`dchag_perf::MachineSpec::measured`]) instead of the spec-sheet
+/// constants. Returns the installed `(bucket_elems, chunk_elems)`, or
+/// `None` — leaving whatever sizing is in force untouched — when the log
+/// cannot yet identify the model or the inputs are degenerate (then
+/// [`apply_adaptive_comm_sizing`]'s Frontier-based derivation remains the
+/// cold-start behavior).
+///
+/// The fit is rank-symmetric (every rank reads the same shared log), so
+/// installing it preserves the SPMD invariant bucketed DDP relies on.
+pub fn apply_measured_comm_sizing(
+    log: &dchag_collectives::TrafficLog,
+    total_elems: usize,
+    world: usize,
+) -> Option<(usize, usize)> {
+    if world <= 1 || total_elems == 0 {
+        return None;
+    }
+    let (alpha, bw) = measured_alpha_beta(log)?;
+    let machine = dchag_perf::MachineSpec::measured(alpha, bw);
+    // A measured machine carries one fabric on both wires; Intra keeps the
+    // group-size bookkeeping out of it.
+    let wire = dchag_perf::comm::Wire::Intra;
+    let bucket = dchag_perf::comm::optimal_bucket_elems(&machine, total_elems, world, wire);
+    let chunk = dchag_perf::comm::optimal_chunk_elems(&machine, bucket as f64 * 4.0, world, wire);
+    dchag_collectives::set_comm_chunk_elems(chunk);
+    Some((bucket, chunk))
+}
+
 struct InflightBucket {
     /// `(param index, dims)` in flatten order.
     params: Vec<(usize, Vec<usize>)>,
@@ -261,8 +332,73 @@ impl Binder for DdpBinder<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dchag_collectives::{run_ranks, CollOp};
+    use dchag_collectives::{run_ranks, ChunkEvent, CollOp};
     use dchag_tensor::Rng;
+
+    /// Serializes tests that read or write the process-wide chunk size
+    /// (cargo runs tests of one binary concurrently).
+    static CHUNK_CFG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn measured_alpha_beta_fits_real_chunk_timestamps() {
+        // The chunk-count assertion below depends on the process-wide
+        // chunk size staying at its default for the duration.
+        let _guard = CHUNK_CFG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Pipelined all-reduces of strongly varying payload: the
+        // per-round (bytes, wall) samples then have a slope lever far
+        // above timer noise, so the fit is reliably identifiable.
+        let run = run_ranks(2, |ctx| {
+            for round in 0..10 {
+                let n = dchag_collectives::COMM_CHUNK_ELEMS * (1 + 7 * (round % 2));
+                let _ = ctx.comm.iall_reduce_sum(&Tensor::ones([n])).wait();
+            }
+            ctx.comm.barrier();
+            (
+                measured_alpha_beta(ctx.comm.traffic().as_ref()),
+                ctx.comm.traffic().chunk_events().len(),
+            )
+        });
+        for (fit, events) in run.outputs {
+            assert_eq!(events, 5 + 5 * 8, "5 one-chunk + 5 eight-chunk rounds");
+            let (alpha, bw) = fit.expect("identifiable sample set must fit");
+            assert!(alpha > 0.0 && alpha < 1.0, "α {alpha} s plausible");
+            assert!(bw > 1e3, "bw {bw} B/s plausible");
+        }
+    }
+
+    #[test]
+    fn measured_sizing_installs_and_falls_back() {
+        let _guard = CHUNK_CFG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = dchag_collectives::comm_chunk_elems();
+        // Unidentifiable log: nothing installed, Frontier constants stay.
+        let log = dchag_collectives::TrafficLog::new();
+        assert!(apply_measured_comm_sizing(&log, 30_000_000, 4).is_none());
+        assert_eq!(dchag_collectives::comm_chunk_elems(), prev);
+        // Synthetic identifiable log (exact α-β samples).
+        let (alpha, bw) = (10e-6, 20e9);
+        // One single-chunk round per sample (rounds are the fit's unit).
+        for (i, &bytes) in [65536usize, 65536, 65536, 65536, 16384, 32768].iter().enumerate() {
+            log.record_chunk(ChunkEvent {
+                op: CollOp::AllReduce,
+                coll_seq: i,
+                chunk: 0,
+                bytes_on_wire: bytes,
+                issued_us: 0.0,
+                ready_us: 0.0,
+                done_us: (alpha + bytes as f64 / bw) * 1e6,
+            });
+        }
+        let (bucket, chunk) =
+            apply_measured_comm_sizing(&log, 30_000_000, 4).expect("identifiable log");
+        assert!(bucket > 0 && chunk > 0 && chunk <= bucket);
+        assert_eq!(dchag_collectives::comm_chunk_elems(), chunk, "installed");
+        // Deterministic in the log: the SPMD invariant.
+        assert_eq!(apply_measured_comm_sizing(&log, 30_000_000, 4), Some((bucket, chunk)));
+        // Degenerate worlds keep hands off.
+        assert!(apply_measured_comm_sizing(&log, 30_000_000, 1).is_none());
+        assert!(apply_measured_comm_sizing(&log, 0, 4).is_none());
+        dchag_collectives::set_comm_chunk_elems(prev);
+    }
 
     #[test]
     fn adaptive_bucket_fallbacks_and_determinism() {
@@ -279,6 +415,7 @@ mod tests {
 
     #[test]
     fn apply_adaptive_sizing_installs_and_reports() {
+        let _guard = CHUNK_CFG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = dchag_collectives::comm_chunk_elems();
         let (bucket, chunk) = apply_adaptive_comm_sizing(30_000_000, 8);
         assert!(bucket > 0 && chunk > 0);

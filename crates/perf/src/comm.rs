@@ -107,6 +107,57 @@ pub fn overlap_fraction(blocking: f64, pipelined: f64, comm: f64) -> f64 {
     ((blocking - pipelined) / comm).clamp(0.0, 1.0)
 }
 
+// ----- measured α-β estimation ---------------------------------------------
+
+/// Least-squares fit of the α-β cost model `t = α + bytes/bw` over
+/// measured `(bytes, seconds)` samples — typically one sample per
+/// completed pipeline chunk, whose `TrafficLog` timestamps already carry
+/// exactly this data. Returns `(α seconds, bandwidth bytes/s)`.
+///
+/// `None` when the samples cannot identify the model: fewer than 4
+/// points, no size variation (a schedule of identical chunks has no lever
+/// arm on the slope — the tail chunk usually provides it), or a
+/// non-positive fitted slope (noise dominating the bandwidth term).
+/// Callers keep their cold-start constants in that case. A slightly
+/// negative fitted intercept (fast fabrics + timer noise) is clamped to a
+/// nanosecond rather than rejected, so the derived chunk sizing stays
+/// finite.
+pub fn estimate_alpha_beta(samples: &[(f64, f64)]) -> Option<(f64, f64)> {
+    const MIN_SAMPLES: usize = 4;
+    const ALPHA_FLOOR: f64 = 1e-9;
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .copied()
+        .filter(|&(b, t)| b > 0.0 && t >= 0.0 && t.is_finite())
+        .collect();
+    if pts.len() < MIN_SAMPLES {
+        return None;
+    }
+    let bmin = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let bmax = pts.iter().map(|p| p.0).fold(0.0f64, f64::max);
+    if bmax <= bmin {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let (mut sb, mut st, mut sbb, mut sbt) = (0.0, 0.0, 0.0, 0.0);
+    for &(b, t) in &pts {
+        sb += b;
+        st += t;
+        sbb += b * b;
+        sbt += b * t;
+    }
+    let denom = n * sbb - sb * sb;
+    if denom <= 0.0 {
+        return None;
+    }
+    let slope = (n * sbt - sb * st) / denom;
+    if slope <= 0.0 || !slope.is_finite() {
+        return None;
+    }
+    let alpha = ((st - slope * sb) / n).max(ALPHA_FLOOR);
+    Some((alpha, 1.0 / slope))
+}
+
 // ----- adaptive chunk / bucket sizing --------------------------------------
 
 /// Pipeline chunk count that minimizes end-to-end chunked all-reduce time
@@ -240,6 +291,76 @@ mod tests {
         assert!((overlap_fraction(5.0, 4.0, 2.0) - 0.5).abs() < 1e-12);
         assert_eq!(overlap_fraction(5.0, 1.0, 2.0), 1.0, "clamped");
         assert_eq!(overlap_fraction(5.0, 6.0, 2.0), 0.0, "clamped");
+    }
+
+    #[test]
+    fn alpha_beta_fit_recovers_exact_model() {
+        // Samples generated from t = α + b/bw must be recovered to
+        // round-off (the fit is exact for noiseless data).
+        let (alpha, bw) = (12e-6, 30e9);
+        let samples: Vec<(f64, f64)> = [65536.0, 65536.0, 65536.0, 16384.0, 32768.0]
+            .iter()
+            .map(|&b| (b, alpha + b / bw))
+            .collect();
+        let (a, w) = estimate_alpha_beta(&samples).unwrap();
+        assert!((a - alpha).abs() / alpha < 1e-6, "α {a} vs {alpha}");
+        assert!((w - bw).abs() / bw < 1e-6, "bw {w} vs {bw}");
+    }
+
+    #[test]
+    fn alpha_beta_fit_rejects_unidentifiable_samples() {
+        // Too few points.
+        assert!(estimate_alpha_beta(&[(1e4, 1e-4), (2e4, 2e-4)]).is_none());
+        // No size variation: slope has no lever arm.
+        let same: Vec<(f64, f64)> = (0..8).map(|i| (4096.0, 1e-5 + i as f64 * 1e-8)).collect();
+        assert!(estimate_alpha_beta(&same).is_none());
+        // Negative slope (bigger chunks finishing faster = noise).
+        let bad: Vec<(f64, f64)> =
+            [(1e4, 4e-4), (2e4, 3e-4), (3e4, 2e-4), (4e4, 1e-4)].to_vec();
+        assert!(estimate_alpha_beta(&bad).is_none());
+        // Degenerate byte counts are filtered, not fit.
+        let zeros: Vec<(f64, f64)> = (0..8).map(|_| (0.0, 1e-5)).collect();
+        assert!(estimate_alpha_beta(&zeros).is_none());
+    }
+
+    #[test]
+    fn alpha_beta_fit_clamps_negative_intercept() {
+        // Slight timer skew can pull the intercept below zero; the fit
+        // clamps α instead of failing so sizing stays derivable.
+        let bw = 10e9;
+        let samples: Vec<(f64, f64)> = [1e4f64, 2e4, 3e4, 4e4]
+            .iter()
+            .map(|&b| (b, (b / bw - 1e-7).max(0.0)))
+            .collect();
+        let (a, w) = estimate_alpha_beta(&samples).unwrap();
+        assert!(a > 0.0 && a <= 1e-6, "α clamped small, got {a}");
+        assert!(w > 0.0);
+    }
+
+    #[test]
+    fn measured_machine_drives_sizing() {
+        // A fabric measured 100× slower than Frontier wants smaller
+        // pipeline chunks for the same payload (bandwidth term shrinks
+        // relative to α… actually α measured huge ⇒ fewer chunks). Pin
+        // the directional behaviors.
+        let slow_alpha = MachineSpec::measured(1e-3, 35e9);
+        let frontier = m();
+        let bytes = 4.0 * 1024.0 * 1024.0;
+        assert!(
+            optimal_chunk_count(&slow_alpha, bytes, 4, Wire::Intra)
+                <= optimal_chunk_count(&frontier, bytes, 4, Wire::Intra),
+            "α-bound measured fabric pipelines less"
+        );
+        let fat_pipe = MachineSpec::measured(8e-6, 350e9);
+        assert!(
+            optimal_bucket_elems(&fat_pipe, 30_000_000, 4, Wire::Intra)
+                >= optimal_bucket_elems(&frontier, 30_000_000, 4, Wire::Intra),
+            "higher measured bandwidth raises the latency-floor bucket"
+        );
+        // Both wires carry the measured numbers, so wire attribution
+        // cannot skew a measured-machine derivation.
+        assert_eq!(slow_alpha.alpha_intra, slow_alpha.alpha_inter);
+        assert_eq!(slow_alpha.intra_bw, slow_alpha.inter_bw);
     }
 
     #[test]

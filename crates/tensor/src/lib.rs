@@ -19,6 +19,7 @@ pub mod ops;
 pub(crate) mod par;
 pub mod param;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod simd;
 pub mod tensor;

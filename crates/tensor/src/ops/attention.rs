@@ -21,6 +21,7 @@
 
 use crate::ops::gemm::{gemm_serial_or_small, Epilogue, GemmLayout};
 use crate::par;
+use crate::scratch::with_scratch;
 use crate::simd::{self, exp_fast};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -138,65 +139,71 @@ fn flash_fwd_tile(
     out: &mut [f32],
     lse: &mut [f32],
 ) {
-    let mut m = vec![f32::NEG_INFINITY; br];
-    let mut l = vec![0.0f32; br];
-    let mut s = vec![0.0f32; br * FLASH_BC];
-    let mut j0 = 0;
-    while j0 < sk {
-        let bc = FLASH_BC.min(sk - j0);
-        let st = &mut s[..br * bc];
-        // S = scale · Q_tile · K_tileᵀ (scale folded into the packing; the
-        // assign epilogue overwrites the reused scratch tile, no fill).
-        gemm_serial_or_small(
-            GemmLayout::NT,
-            scale,
-            qt,
-            &kb[j0 * d..(j0 + bc) * d],
-            Epilogue::Assign,
-            st,
-            br,
-            d,
-            bc,
-        );
-        // Online-softmax update: rescale the running sum and the context
-        // accumulator by exp(m_old − m_new), then exponentiate in place.
-        for (i, srow) in st.chunks_mut(bc).enumerate() {
-            let row_max = simd::row_max(srow);
-            if row_max > m[i] {
-                let corr = exp_fast(m[i] - row_max);
-                l[i] *= corr;
-                for o in out[i * d..(i + 1) * d].iter_mut() {
-                    *o *= corr;
+    // Tile state comes from the per-thread scratch arena: `m`/`l` are
+    // filled here, the score tile is fully Assign-stored before any read,
+    // so recycled contents never leak into the online softmax.
+    with_scratch(br * (FLASH_BC + 2), |scratch| {
+        let (ml, s) = scratch.split_at_mut(2 * br);
+        let (m, l) = ml.split_at_mut(br);
+        m.fill(f32::NEG_INFINITY);
+        l.fill(0.0);
+        let mut j0 = 0;
+        while j0 < sk {
+            let bc = FLASH_BC.min(sk - j0);
+            let st = &mut s[..br * bc];
+            // S = scale · Q_tile · K_tileᵀ (scale folded into the packing; the
+            // assign epilogue overwrites the reused scratch tile, no fill).
+            gemm_serial_or_small(
+                GemmLayout::NT,
+                scale,
+                qt,
+                &kb[j0 * d..(j0 + bc) * d],
+                Epilogue::Assign,
+                st,
+                br,
+                d,
+                bc,
+            );
+            // Online-softmax update: rescale the running sum and the context
+            // accumulator by exp(m_old − m_new), then exponentiate in place.
+            for (i, srow) in st.chunks_mut(bc).enumerate() {
+                let row_max = simd::row_max(srow);
+                if row_max > m[i] {
+                    let corr = exp_fast(m[i] - row_max);
+                    l[i] *= corr;
+                    for o in out[i * d..(i + 1) * d].iter_mut() {
+                        *o *= corr;
+                    }
+                    m[i] = row_max;
                 }
-                m[i] = row_max;
+                // Lane-parallel exp in its own pass, then the sum re-reads the
+                // cache-hot row with a fixed lane grouping (a fused serial
+                // `sum +=` would chain every lane through one accumulator).
+                simd::exp_sub_sweep(srow, m[i]);
+                l[i] += simd::row_sum(srow);
             }
-            // Lane-parallel exp in its own pass, then the sum re-reads the
-            // cache-hot row with a fixed lane grouping (a fused serial
-            // `sum +=` would chain every lane through one accumulator).
-            simd::exp_sub_sweep(srow, m[i]);
-            l[i] += simd::row_sum(srow);
+            // out += P_tile · V_tile.
+            gemm_serial_or_small(
+                GemmLayout::NN,
+                1.0,
+                &s[..br * bc],
+                &vb[j0 * d..(j0 + bc) * d],
+                Epilogue::Add,
+                out,
+                br,
+                bc,
+                d,
+            );
+            j0 += bc;
         }
-        // out += P_tile · V_tile.
-        gemm_serial_or_small(
-            GemmLayout::NN,
-            1.0,
-            &s[..br * bc],
-            &vb[j0 * d..(j0 + bc) * d],
-            Epilogue::Add,
-            out,
-            br,
-            bc,
-            d,
-        );
-        j0 += bc;
-    }
-    for i in 0..br {
-        let inv = 1.0 / l[i];
-        for o in out[i * d..(i + 1) * d].iter_mut() {
-            *o *= inv;
+        for i in 0..br {
+            let inv = 1.0 / l[i];
+            for o in out[i * d..(i + 1) * d].iter_mut() {
+                *o *= inv;
+            }
+            lse[i] = m[i] + l[i].ln();
         }
-        lse[i] = m[i] + l[i].ln();
-    }
+    })
 }
 
 /// Fused attention backward. Given the forward inputs, the forward output
@@ -345,21 +352,24 @@ fn flash_bwd_dq_tile(
     (br, sk, d): (usize, usize, usize),
     dq_tile: &mut [f32],
 ) {
-    let mut s = vec![0.0f32; br * FLASH_BC];
-    let mut dp = vec![0.0f32; br * FLASH_BC];
-    let mut j0 = 0;
-    while j0 < sk {
-        let bc = FLASH_BC.min(sk - j0);
-        let kt = &kb[j0 * d..(j0 + bc) * d];
-        recompute_p_tile(qt, kt, lse_t, scale, (br, bc, d), &mut s[..br * bc]);
-        // dP = dO · Vᵀ
-        let dpt = &mut dp[..br * bc];
-        gemm_serial_or_small(GemmLayout::NT, 1.0, dout_t, &vb[j0 * d..(j0 + bc) * d], Epilogue::Assign, dpt, br, d, bc);
-        ds_from_p_dp(&mut s[..br * bc], dpt, drow_t, bc);
-        // dQ += scale · dS · K_tile
-        gemm_serial_or_small(GemmLayout::NN, scale, &s[..br * bc], kt, Epilogue::Add, dq_tile, br, bc, d);
-        j0 += bc;
-    }
+    // Both tiles are Assign-stored before any read, so pooled (dirty)
+    // scratch is safe.
+    with_scratch(2 * br * FLASH_BC, |scratch| {
+        let (s, dp) = scratch.split_at_mut(br * FLASH_BC);
+        let mut j0 = 0;
+        while j0 < sk {
+            let bc = FLASH_BC.min(sk - j0);
+            let kt = &kb[j0 * d..(j0 + bc) * d];
+            recompute_p_tile(qt, kt, lse_t, scale, (br, bc, d), &mut s[..br * bc]);
+            // dP = dO · Vᵀ
+            let dpt = &mut dp[..br * bc];
+            gemm_serial_or_small(GemmLayout::NT, 1.0, dout_t, &vb[j0 * d..(j0 + bc) * d], Epilogue::Assign, dpt, br, d, bc);
+            ds_from_p_dp(&mut s[..br * bc], dpt, drow_t, bc);
+            // dQ += scale · dS · K_tile
+            gemm_serial_or_small(GemmLayout::NN, scale, &s[..br * bc], kt, Epilogue::Add, dq_tile, br, bc, d);
+            j0 += bc;
+        }
+    })
 }
 
 /// One (batch, K-tile) backward task:
@@ -377,24 +387,25 @@ fn flash_bwd_dkv_tile(
     dk_tile: &mut [f32],
     dv_tile: &mut [f32],
 ) {
-    let mut s = vec![0.0f32; FLASH_BR * bc];
-    let mut dp = vec![0.0f32; FLASH_BR * bc];
-    let mut i0 = 0;
-    while i0 < sq {
-        let br = FLASH_BR.min(sq - i0);
-        let qt = &qb[i0 * d..(i0 + br) * d];
-        let dout_t = &dout_b[i0 * d..(i0 + br) * d];
-        recompute_p_tile(qt, kt, &lse_b[i0..i0 + br], scale, (br, bc, d), &mut s[..br * bc]);
-        // dV += Pᵀ · dO  (P is [br, bc] row-major = the TN layout's [k, m]).
-        gemm_serial_or_small(GemmLayout::TN, 1.0, &s[..br * bc], dout_t, Epilogue::Add, dv_tile, bc, br, d);
-        // dP = dO · Vᵀ, then dS in place over P.
-        let dpt = &mut dp[..br * bc];
-        gemm_serial_or_small(GemmLayout::NT, 1.0, dout_t, vt, Epilogue::Assign, dpt, br, d, bc);
-        ds_from_p_dp(&mut s[..br * bc], dpt, &drow_b[i0..i0 + br], bc);
-        // dK += scale · dSᵀ · Q
-        gemm_serial_or_small(GemmLayout::TN, scale, &s[..br * bc], qt, Epilogue::Add, dk_tile, bc, br, d);
-        i0 += br;
-    }
+    with_scratch(2 * FLASH_BR * bc, |scratch| {
+        let (s, dp) = scratch.split_at_mut(FLASH_BR * bc);
+        let mut i0 = 0;
+        while i0 < sq {
+            let br = FLASH_BR.min(sq - i0);
+            let qt = &qb[i0 * d..(i0 + br) * d];
+            let dout_t = &dout_b[i0 * d..(i0 + br) * d];
+            recompute_p_tile(qt, kt, &lse_b[i0..i0 + br], scale, (br, bc, d), &mut s[..br * bc]);
+            // dV += Pᵀ · dO  (P is [br, bc] row-major = the TN layout's [k, m]).
+            gemm_serial_or_small(GemmLayout::TN, 1.0, &s[..br * bc], dout_t, Epilogue::Add, dv_tile, bc, br, d);
+            // dP = dO · Vᵀ, then dS in place over P.
+            let dpt = &mut dp[..br * bc];
+            gemm_serial_or_small(GemmLayout::NT, 1.0, dout_t, vt, Epilogue::Assign, dpt, br, d, bc);
+            ds_from_p_dp(&mut s[..br * bc], dpt, &drow_b[i0..i0 + br], bc);
+            // dK += scale · dSᵀ · Q
+            gemm_serial_or_small(GemmLayout::TN, scale, &s[..br * bc], qt, Epilogue::Add, dk_tile, bc, br, d);
+            i0 += br;
+        }
+    })
 }
 
 /// The unfused reference composition `bmm(softmax(scale·Q·Kᵀ), V)` — the

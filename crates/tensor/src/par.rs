@@ -30,6 +30,42 @@ pub(crate) fn for_each_task_if(par: bool, tasks: usize, f: impl Fn(usize) + Sync
     }
 }
 
+/// Prefix-summed flattened task grid over heterogeneous jobs: job `j`
+/// contributes `counts[j]` tasks, and every task of every job lands in one
+/// shared index space `0..total()`. Dispatching that flat range through
+/// the pool (whose workers claim indices cooperatively from one queue, the
+/// same atomic-claim scheme as the collectives chunk engine) is what lets
+/// a ragged batch blend batch-level and intra-job parallelism: a worker
+/// that finishes a small job's only tile immediately claims another job's
+/// next tile instead of idling at a per-job barrier.
+pub(crate) struct FlatGrid {
+    /// `offsets[j]` = first flat index of job `j`; last entry = total.
+    offsets: Vec<usize>,
+}
+
+impl FlatGrid {
+    pub(crate) fn new(counts: impl IntoIterator<Item = usize>) -> Self {
+        let mut offsets = vec![0usize];
+        let mut acc = 0usize;
+        for c in counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        FlatGrid { offsets }
+    }
+
+    pub(crate) fn total(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Map a flat task index back to `(job, task_within_job)`.
+    pub(crate) fn locate(&self, t: usize) -> (usize, usize) {
+        debug_assert!(t < self.total());
+        let j = self.offsets.partition_point(|&o| o <= t) - 1;
+        (j, t - self.offsets[j])
+    }
+}
+
 /// Apply `f` to every `n`-sized row of `out`, in parallel when large.
 pub(crate) fn for_each_row(out: &mut [f32], n: usize, f: impl Fn(&mut [f32]) + Sync) {
     if out.len() >= PAR_NUMEL {
@@ -141,6 +177,21 @@ mod tests {
                 assert_eq!(*x, i as f32);
             }
         }
+    }
+
+    #[test]
+    fn flat_grid_locates_every_task() {
+        let g = FlatGrid::new([3usize, 1, 0, 4]);
+        assert_eq!(g.total(), 8);
+        let want = [
+            (0, 0), (0, 1), (0, 2), // job 0
+            (1, 0), // job 1 (job 2 contributes nothing)
+            (3, 0), (3, 1), (3, 2), (3, 3), // job 3
+        ];
+        for (t, &w) in want.iter().enumerate() {
+            assert_eq!(g.locate(t), w, "task {t}");
+        }
+        assert_eq!(FlatGrid::new(std::iter::empty()).total(), 0);
     }
 
     #[test]

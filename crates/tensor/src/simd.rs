@@ -1,11 +1,13 @@
 //! Explicit-SIMD compute core: runtime-dispatched vector kernels.
 //!
 //! One module owns every piece of lane-level code in the tensor crate. The
-//! GEMM micro-kernel, its store epilogues, and the hot elementwise sweeps
-//! (`exp`, `tanh`/GELU, softmax max/sum, layernorm's chunked Welford pass,
-//! the in-place AdamW update) are written once over a small [`Vf32`] vector
-//! abstraction (load/store/fma/min/max/blend/sqrt + horizontal folds) and
-//! instantiated per ISA:
+//! GEMM micro-kernel (full tiles plus the trimmed masked-tail edge
+//! kernels), its store epilogues, the transpose-gather panel pack, and the
+//! hot elementwise sweeps (`exp`, `tanh`/GELU, softmax max/sum,
+//! layernorm's chunked Welford pass, the in-place AdamW update) are
+//! written once over a small [`Vf32`] vector abstraction
+//! (load/store/masked load/store/fma/min/max/blend/sqrt + horizontal
+//! folds) and instantiated per ISA:
 //!
 //! * **AVX-512** — [`F32x16`] (`__m512`); the GEMM micro-kernel holds an
 //!   8×32 accumulator (16 ZMM registers + 2 B vectors + 1 broadcast = 19 of
@@ -451,6 +453,50 @@ mod scalar {
             }
         }
     }
+
+    /// The scalar tier stores partial tiles through the same per-element
+    /// loops either way, so the "spill baseline" entry point is the kernel
+    /// itself.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_micro_spill(
+        kc: usize,
+        ap: &[f32],
+        bp: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        gemm_micro(kc, ap, bp, c, ldc, mr, nr, epi)
+    }
+
+    /// Scalar transpose-gather pack (the pre-SIMD loop, and the reference
+    /// the vector path is bitwise-tested against):
+    /// `dst[p·pad + i] = α · src[i·stride + p]`, rows `rows..pad` zeroed.
+    ///
+    /// # Safety
+    /// `src` readable at `i·stride + p` for `i < rows`, `p < kc`; `dst`
+    /// writable for `pad·kc` elements.
+    pub unsafe fn pack_transpose(
+        src: *const f32,
+        stride: usize,
+        rows: usize,
+        pad: usize,
+        kc: usize,
+        dst: *mut f32,
+        alpha: f32,
+    ) {
+        for p in 0..kc {
+            let d = dst.add(p * pad);
+            for i in 0..rows {
+                *d.add(i) = alpha * *src.add(i * stride + p);
+            }
+            for i in rows..pad {
+                *d.add(i) = 0.0;
+            }
+        }
+    }
 }
 
 /// Chan's parallel combine of a chunk's shifted `(s, s2)` sums into the
@@ -529,10 +575,22 @@ mod x86 {
         /// `self * b + c`, fused.
         unsafe fn mul_add(self, b: Self, c: Self) -> Self;
         /// Lanewise select: `mask` sign bit set → take from `o`, else from
-        /// `self`. Part of the abstraction surface (masked tails, future
-        /// predicated kernels); no current sweep needs it.
+        /// `self`. Part of the abstraction surface (predicated kernels); the
+        /// masked *memory* tails below use dedicated mask loads/stores
+        /// instead — a blend-based tail would have to read and write the
+        /// full vector width, which is out of bounds at buffer edges.
         #[allow(dead_code)]
         unsafe fn blend(self, o: Self, mask: Self) -> Self;
+        /// Masked load of the first `n` lanes (`0 ≤ n ≤ LANES`); lanes at
+        /// and past `n` are zero. Bytes past `p + n` are **never read** —
+        /// AVX-512 mask registers / AVX2 `vmaskmovps` guarantee the
+        /// suppressed lanes generate no memory access, so partial tiles can
+        /// sit flush against the end of an allocation.
+        unsafe fn load_partial(p: *const f32, n: usize) -> Self;
+        /// Masked store of the first `n` lanes; bytes past `p + n` are
+        /// never written (same suppression guarantee as
+        /// [`Vf32::load_partial`]).
+        unsafe fn store_partial(self, p: *mut f32, n: usize);
         unsafe fn sqrt(self) -> Self;
         /// `2^(self as i32)` per lane by exponent-field assembly; lanes
         /// must hold integer-valued floats in `[-126, 127]`.
@@ -541,6 +599,16 @@ mod x86 {
         unsafe fn reduce_add(self) -> f32;
         /// Horizontal max, same tree order.
         unsafe fn reduce_max(self) -> f32;
+    }
+
+    /// Lane-index mask for AVX2 masked memory ops: lane `i` active iff
+    /// `i < n` (`vmaskmovps` keys off each lane's sign bit).
+    #[inline(always)]
+    unsafe fn lane_mask8(n: usize) -> __m256i {
+        _mm256_cmpgt_epi32(
+            _mm256_set1_epi32(n as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        )
     }
 
     /// 8 × f32 in one YMM register (AVX2 + FMA tier).
@@ -596,6 +664,15 @@ mod x86 {
         #[inline(always)]
         unsafe fn blend(self, o: Self, mask: Self) -> Self {
             F32x8(_mm256_blendv_ps(self.0, o.0, mask.0))
+        }
+        #[inline(always)]
+        unsafe fn load_partial(p: *const f32, n: usize) -> Self {
+            // `vmaskmovps`: suppressed lanes perform no load and read as 0.
+            F32x8(_mm256_maskload_ps(p, lane_mask8(n)))
+        }
+        #[inline(always)]
+        unsafe fn store_partial(self, p: *mut f32, n: usize) {
+            _mm256_maskstore_ps(p, lane_mask8(n), self.0)
         }
         #[inline(always)]
         unsafe fn sqrt(self) -> Self {
@@ -683,6 +760,18 @@ mod x86 {
             // blendv; movepi32_mask extracts lane sign bits).
             let m = _mm512_movepi32_mask(_mm512_castps_si512(mask.0));
             F32x16(_mm512_mask_blend_ps(m, self.0, o.0))
+        }
+        #[inline(always)]
+        unsafe fn load_partial(p: *const f32, n: usize) -> Self {
+            // `n ≤ 16`, so the u32 shift never overflows; masked-off lanes
+            // are zeroed and generate no memory access.
+            let m = (1u32.wrapping_shl(n as u32) - 1) as __mmask16;
+            F32x16(_mm512_maskz_loadu_ps(m, p))
+        }
+        #[inline(always)]
+        unsafe fn store_partial(self, p: *mut f32, n: usize) {
+            let m = (1u32.wrapping_shl(n as u32) - 1) as __mmask16;
+            _mm512_mask_storeu_ps(p, m, self.0)
         }
         #[inline(always)]
         unsafe fn sqrt(self) -> Self {
@@ -902,24 +991,16 @@ mod x86 {
         }
     }
 
-    /// GEMM micro-kernel over packed panels: `C[0..mr, 0..nr] (epi)=
-    /// Ap(kc×MRV) · Bp(kc×NRV)` where `NRV = 2·LANES`. Accumulators live
-    /// in `MRV × 2` vector registers; the k loop broadcasts one A element
-    /// per row and feeds two FMAs. Full tiles store straight from the
-    /// registers with the epilogue fused; edge tiles spill to a scratch
-    /// array and store scalar.
+    /// Full-tile k-loop: `MRV × 2` accumulator vectors, one A broadcast
+    /// feeding two FMAs per row per depth step. Returned **by value** so
+    /// the accumulators stay register-resident (see the scalar kernel's
+    /// spill note).
     #[inline(always)]
-    #[allow(clippy::too_many_arguments)]
-    unsafe fn gemm_micro_v<V: Vf32, const MRV: usize>(
+    unsafe fn gemm_acc_full_v<V: Vf32, const MRV: usize>(
         kc: usize,
         ap: *const f32,
         bp: *const f32,
-        c: *mut f32,
-        ldc: usize,
-        mr: usize,
-        nr: usize,
-        epi: MicroEpi<'_>,
-    ) {
+    ) -> [[V; 2]; MRV] {
         let nrv = 2 * V::LANES;
         let mut acc = [[V::zero(); 2]; MRV];
         let mut p = 0;
@@ -934,35 +1015,199 @@ mod x86 {
             }
             p += 1;
         }
-        if mr == MRV && nr == nrv {
-            match epi {
-                MicroEpi::Add => {
-                    for (i, a) in acc.iter().enumerate() {
-                        let cp = c.add(i * ldc);
-                        V::load(cp).add(a[0]).store(cp);
-                        let cp1 = cp.add(V::LANES);
-                        V::load(cp1).add(a[1]).store(cp1);
-                    }
-                }
-                MicroEpi::AddBias(bias) => {
-                    // Matches the scalar epilogue's `c + (acc + bias)`.
-                    let bv0 = V::load(bias.as_ptr());
-                    let bv1 = V::load(bias.as_ptr().add(V::LANES));
-                    for (i, a) in acc.iter().enumerate() {
-                        let cp = c.add(i * ldc);
-                        V::load(cp).add(a[0].add(bv0)).store(cp);
-                        let cp1 = cp.add(V::LANES);
-                        V::load(cp1).add(a[1].add(bv1)).store(cp1);
-                    }
-                }
-                MicroEpi::Assign => {
-                    for (i, a) in acc.iter().enumerate() {
-                        let cp = c.add(i * ldc);
-                        a[0].store(cp);
-                        a[1].store(cp.add(V::LANES));
-                    }
+        acc
+    }
+
+    /// Fused full-tile store (`mr == MRV`, `nr == 2·LANES`): the epilogue
+    /// rides in the register stores.
+    #[inline(always)]
+    unsafe fn gemm_store_full_v<V: Vf32, const MRV: usize>(
+        acc: &[[V; 2]; MRV],
+        c: *mut f32,
+        ldc: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        match epi {
+            MicroEpi::Add => {
+                for (i, a) in acc.iter().enumerate() {
+                    let cp = c.add(i * ldc);
+                    V::load(cp).add(a[0]).store(cp);
+                    let cp1 = cp.add(V::LANES);
+                    V::load(cp1).add(a[1]).store(cp1);
                 }
             }
+            MicroEpi::AddBias(bias) => {
+                // Matches the scalar epilogue's `c + (acc + bias)`.
+                let bv0 = V::load(bias.as_ptr());
+                let bv1 = V::load(bias.as_ptr().add(V::LANES));
+                for (i, a) in acc.iter().enumerate() {
+                    let cp = c.add(i * ldc);
+                    V::load(cp).add(a[0].add(bv0)).store(cp);
+                    let cp1 = cp.add(V::LANES);
+                    V::load(cp1).add(a[1].add(bv1)).store(cp1);
+                }
+            }
+            MicroEpi::Assign => {
+                for (i, a) in acc.iter().enumerate() {
+                    let cp = c.add(i * ldc);
+                    a[0].store(cp);
+                    a[1].store(cp.add(V::LANES));
+                }
+            }
+        }
+    }
+
+    /// Edge-tile micro-kernel, instantiated per compile-time row count
+    /// `MR` (≤ the ISA's full tile rows) and accumulator width `NV`
+    /// vectors (1 when the tile's columns fit one vector). Two wins over
+    /// the old scratch-spill path: partial tiles pay only their true share
+    /// of FMAs (an `mr = 1` strip no longer runs the full `MRV`-row
+    /// k-loop on zero padding, a `nr ≤ LANES` strip halves the FMA width),
+    /// and the store is masked — lanes past `nr` generate no memory
+    /// access, so there is no scratch round-trip and no scalar tail loop.
+    ///
+    /// Each output element still accumulates strictly k-major with one FMA
+    /// per depth step, so edge tiles round exactly like the full-tile and
+    /// scalar kernels (the ≤ 2 ulp policy holds tile-shape-independently).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_micro_edge_v<V: Vf32, const MR: usize, const NV: usize>(
+        kc: usize,
+        ap: *const f32,
+        mrv: usize,
+        bp: *const f32,
+        nrv: usize,
+        c: *mut f32,
+        ldc: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        debug_assert!(nr <= NV * V::LANES && NV <= 2);
+        let mut acc = [[V::zero(); NV]; MR];
+        let mut p = 0;
+        while p < kc {
+            let mut b = [V::zero(); NV];
+            for (v, bv) in b.iter_mut().enumerate() {
+                *bv = V::load(bp.add(p * nrv + v * V::LANES));
+            }
+            let a = ap.add(p * mrv);
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let ai = V::splat(*a.add(i));
+                for (v, accv) in accr.iter_mut().enumerate() {
+                    *accv = ai.mul_add(b[v], *accv);
+                }
+            }
+            p += 1;
+        }
+        for (i, accr) in acc.iter().enumerate() {
+            let cp = c.add(i * ldc);
+            for (v, &av) in accr.iter().enumerate() {
+                let off = v * V::LANES;
+                if off >= nr {
+                    break;
+                }
+                let lanes = (nr - off).min(V::LANES);
+                let cpv = cp.add(off);
+                match epi {
+                    MicroEpi::Add => {
+                        V::load_partial(cpv, lanes).add(av).store_partial(cpv, lanes);
+                    }
+                    MicroEpi::AddBias(bias) => {
+                        // Same op order as the full tile: c + (acc + bias).
+                        let bv = V::load_partial(bias.as_ptr().add(off), lanes);
+                        V::load_partial(cpv, lanes)
+                            .add(av.add(bv))
+                            .store_partial(cpv, lanes);
+                    }
+                    MicroEpi::Assign => av.store_partial(cpv, lanes),
+                }
+            }
+        }
+    }
+
+    /// Dispatch an edge tile onto the const-row-count instantiation: a
+    /// runtime-bounded accumulator loop would keep the array addressable
+    /// and spill it every k iteration (the measured-1.6× lesson from the
+    /// scalar kernel), so each possible `mr` gets its own fully-unrolled
+    /// kernel. Arms past the ISA's tile rows are unreachable.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_micro_edge<V: Vf32, const MRV: usize>(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        nrv: usize,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        macro_rules! rows {
+            ($m:literal) => {
+                if nr <= V::LANES {
+                    gemm_micro_edge_v::<V, $m, 1>(kc, ap, MRV, bp, nrv, c, ldc, nr, epi)
+                } else {
+                    gemm_micro_edge_v::<V, $m, 2>(kc, ap, MRV, bp, nrv, c, ldc, nr, epi)
+                }
+            };
+        }
+        match mr {
+            1 => rows!(1),
+            2 => rows!(2),
+            3 => rows!(3),
+            4 => rows!(4),
+            5 => rows!(5),
+            6 => rows!(6),
+            7 => rows!(7),
+            _ => rows!(8),
+        }
+    }
+
+    /// GEMM micro-kernel over packed panels: `C[0..mr, 0..nr] (epi)=
+    /// Ap(kc×MRV) · Bp(kc×NRV)` where `NRV = 2·LANES`. Full tiles store
+    /// straight from the registers with the epilogue fused; partial tiles
+    /// route to the trimmed masked-tail kernels ([`gemm_micro_edge_v`]).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_micro_v<V: Vf32, const MRV: usize>(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        let nrv = 2 * V::LANES;
+        if mr != MRV || nr != nrv {
+            return gemm_micro_edge::<V, MRV>(kc, ap, bp, nrv, c, ldc, mr, nr, epi);
+        }
+        let acc = gemm_acc_full_v::<V, MRV>(kc, ap, bp);
+        gemm_store_full_v(&acc, c, ldc, epi);
+    }
+
+    /// The pre-masked-tail micro-kernel, kept verbatim as the **baseline**
+    /// for the `gemm_ragged_*` BENCH entries and the edge-path parity
+    /// tests: full tiles store fused, edge tiles spill the whole register
+    /// block to a scratch array and copy out scalar.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn gemm_micro_spill_v<V: Vf32, const MRV: usize>(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+        epi: MicroEpi<'_>,
+    ) {
+        let nrv = 2 * V::LANES;
+        let acc = gemm_acc_full_v::<V, MRV>(kc, ap, bp);
+        if mr == MRV && nr == nrv {
+            gemm_store_full_v(&acc, c, ldc, epi);
         } else {
             let mut tmp = [0.0f32; super::GEMM_MAX_MR * super::GEMM_MAX_NR];
             for (i, a) in acc.iter().enumerate().take(mr) {
@@ -986,6 +1231,104 @@ mod x86 {
                     MicroEpi::Assign => crow.copy_from_slice(trow),
                 }
             }
+        }
+    }
+
+    // ---- SIMD panel packing: transpose-gather via 8×8 shuffle blocks ----
+
+    /// In-register 8×8 f32 transpose: unpack pairs, shuffle quads, then
+    /// swap 128-bit halves (the classic AVX recipe — 24 shuffle-port ops
+    /// for 64 elements, vs 64 scalar loads for the gather it replaces).
+    #[inline(always)]
+    unsafe fn transpose8x8(r: [__m256; 8]) -> [__m256; 8] {
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let s0 = _mm256_shuffle_ps(t0, t2, 0b01_00_01_00);
+        let s1 = _mm256_shuffle_ps(t0, t2, 0b11_10_11_10);
+        let s2 = _mm256_shuffle_ps(t1, t3, 0b01_00_01_00);
+        let s3 = _mm256_shuffle_ps(t1, t3, 0b11_10_11_10);
+        let s4 = _mm256_shuffle_ps(t4, t6, 0b01_00_01_00);
+        let s5 = _mm256_shuffle_ps(t4, t6, 0b11_10_11_10);
+        let s6 = _mm256_shuffle_ps(t5, t7, 0b01_00_01_00);
+        let s7 = _mm256_shuffle_ps(t5, t7, 0b11_10_11_10);
+        [
+            _mm256_permute2f128_ps(s0, s4, 0x20),
+            _mm256_permute2f128_ps(s1, s5, 0x20),
+            _mm256_permute2f128_ps(s2, s6, 0x20),
+            _mm256_permute2f128_ps(s3, s7, 0x20),
+            _mm256_permute2f128_ps(s0, s4, 0x31),
+            _mm256_permute2f128_ps(s1, s5, 0x31),
+            _mm256_permute2f128_ps(s2, s6, 0x31),
+            _mm256_permute2f128_ps(s3, s7, 0x31),
+        ]
+    }
+
+    /// Transpose-pack a `[rows × kc]` block of a row-major source (row
+    /// stride `stride` elements) into a k-major interleaved micro-panel:
+    /// `dst[p·pad + i] = α · src[i·stride + p]`, with panel rows
+    /// `rows..pad` zero-filled. This is the strided-gather case of GEMM
+    /// packing (A panels in NN/NT, B panels in NT's transposed layout) —
+    /// the scalar loop walks the source one element per cycle, while 8×8
+    /// blocks load eight *contiguous* runs and transpose in registers.
+    ///
+    /// Runs on plain AVX (8-lane), which both SIMD tiers imply; the
+    /// AVX-512 tier gains nothing from 16-wide blocks here because the
+    /// destination interleave `pad` is 6 or 8 rows.
+    ///
+    /// Bitwise identical to the scalar pack: each element sees exactly one
+    /// `α · x` multiply on both paths.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn pack_transpose_avx(
+        src: *const f32,
+        stride: usize,
+        rows: usize,
+        pad: usize,
+        kc: usize,
+        dst: *mut f32,
+        alpha: f32,
+    ) {
+        let av = _mm256_set1_ps(alpha);
+        let mut i0 = 0;
+        while i0 < pad {
+            let iw = 8.min(pad - i0); // panel lanes this block stores
+            let valid = rows.saturating_sub(i0).min(8); // real source rows
+            let mut p0 = 0;
+            while p0 < kc {
+                let pw = 8.min(kc - p0);
+                let mut r = [_mm256_setzero_ps(); 8];
+                if pw == 8 {
+                    for (i, rv) in r.iter_mut().enumerate().take(valid) {
+                        let row = src.add((i0 + i) * stride + p0);
+                        *rv = _mm256_mul_ps(_mm256_loadu_ps(row), av);
+                    }
+                } else {
+                    for (i, rv) in r.iter_mut().enumerate().take(valid) {
+                        let row = src.add((i0 + i) * stride + p0);
+                        *rv = _mm256_mul_ps(F32x8::load_partial(row, pw).0, av);
+                    }
+                }
+                // Rows `valid..8` stay zero vectors, so transposed lanes
+                // past `rows` carry the panel's zero padding for free.
+                let t = transpose8x8(r);
+                if iw == 8 {
+                    for (p, tv) in t.iter().enumerate().take(pw) {
+                        _mm256_storeu_ps(dst.add((p0 + p) * pad + i0), *tv);
+                    }
+                } else {
+                    for (p, &tv) in t.iter().enumerate().take(pw) {
+                        F32x8(tv).store_partial(dst.add((p0 + p) * pad + i0), iw);
+                    }
+                }
+                p0 += pw;
+            }
+            i0 += iw;
         }
     }
 
@@ -1043,7 +1386,47 @@ mod x86 {
                     nr: usize,
                     epi: MicroEpi<'_>,
                 ) {
+                    // Narrow column strips drop to the 8-lane kernel (both
+                    // tiers imply AVX2): a 16-lane vector for a `nr ≤ 8`
+                    // edge would burn double the FMA width on zero padding.
+                    // Reads the same `2·LANES`-interleaved panels — only
+                    // the vector width narrows.
+                    if nr <= F32x8::LANES && <$v as Vf32>::LANES > F32x8::LANES {
+                        return gemm_micro_edge::<F32x8, $mrv>(
+                            kc, ap.as_ptr(), bp.as_ptr(), 2 * <$v as Vf32>::LANES,
+                            c, ldc, mr, nr, epi,
+                        );
+                    }
                     gemm_micro_v::<$v, $mrv>(kc, ap.as_ptr(), bp.as_ptr(), c, ldc, mr, nr, epi)
+                }
+                #[target_feature(enable = $feat)]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn gemm_micro_spill(
+                    kc: usize,
+                    ap: &[f32],
+                    bp: &[f32],
+                    c: *mut f32,
+                    ldc: usize,
+                    mr: usize,
+                    nr: usize,
+                    epi: MicroEpi<'_>,
+                ) {
+                    gemm_micro_spill_v::<$v, $mrv>(kc, ap.as_ptr(), bp.as_ptr(), c, ldc, mr, nr, epi)
+                }
+                #[target_feature(enable = $feat)]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn pack_transpose(
+                    src: *const f32,
+                    stride: usize,
+                    rows: usize,
+                    pad: usize,
+                    kc: usize,
+                    dst: *mut f32,
+                    alpha: f32,
+                ) {
+                    // 8-lane AVX blocks on both tiers: the panel interleave
+                    // (6/8 rows) caps the useful block height at 8.
+                    pack_transpose_avx(src, stride, rows, pad, kc, dst, alpha)
                 }
             }
         };
@@ -1212,6 +1595,53 @@ pub(crate) unsafe fn gemm_microkernel(
     dispatch!(isa, gemm_micro(kc, ap, bp, c, ldc, mr, nr, epi))
 }
 
+/// The pre-masked-tail micro-kernel (edge tiles spill to a scratch array
+/// and store scalar), retained as the baseline for the `gemm_ragged_*`
+/// BENCH entries and as the parity reference for the masked path. Same
+/// contract as [`gemm_microkernel`].
+///
+/// # Safety
+/// As [`gemm_microkernel`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_microkernel_spill(
+    isa: Isa,
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    epi: MicroEpi<'_>,
+) {
+    dispatch!(isa, gemm_micro_spill(kc, ap, bp, c, ldc, mr, nr, epi))
+}
+
+/// Transpose-gather panel pack:
+/// `dst[p·pad + i] = α · src[i·stride + p]` for `i < rows`, `p < kc`, with
+/// panel rows `rows..pad` zero-filled. SIMD tiers run 8×8 in-register
+/// shuffle transposes over contiguous source runs; the scalar tier keeps
+/// the gather loop. All tiers are bitwise identical (one `α·x` multiply
+/// per element on every path).
+///
+/// # Safety
+/// `src` must be readable at `i·stride + p` for all `i < rows`, `p < kc`;
+/// `dst` must be writable for `pad·kc` elements; `isa` must be runnable on
+/// this host.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn pack_transpose(
+    isa: Isa,
+    src: *const f32,
+    stride: usize,
+    rows: usize,
+    pad: usize,
+    kc: usize,
+    dst: *mut f32,
+    alpha: f32,
+) {
+    dispatch!(isa, pack_transpose(src, stride, rows, pad, kc, dst, alpha))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1373,6 +1803,120 @@ mod tests {
                         p[i],
                         ps[i]
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_edge_store_bitwise_matches_spill_kernel() {
+        // The masked-tail kernels must reproduce the old scratch-spill
+        // edge path bit for bit: per output element both accumulate
+        // strictly k-major and apply the epilogue with the same op order.
+        for isa in Isa::available() {
+            let (mrv, nrv) = gemm_tile_shape(isa);
+            let lanes = nrv / 2;
+            for &kc in &[1usize, 7, 65] {
+                for &mr in &[1usize, 2, mrv - 1, mrv] {
+                    for &nr in &[1usize, lanes - 1, lanes, lanes + 1, nrv - 1, nrv] {
+                        let ap = rand_vec(kc * mrv, 1.0, (kc * 13 + mr) as u64);
+                        let bp = rand_vec(kc * nrv, 1.0, (kc * 17 + nr) as u64);
+                        let bias = rand_vec(nr, 1.0, 99);
+                        for (ei, epi) in [
+                            MicroEpi::Add,
+                            MicroEpi::AddBias(&bias),
+                            MicroEpi::Assign,
+                        ]
+                        .into_iter()
+                        .enumerate()
+                        {
+                            let init = rand_vec(mr * nr, 1.0, 7 + ei as u64);
+                            let mut masked = init.clone();
+                            let mut spill = init.clone();
+                            unsafe {
+                                gemm_microkernel(
+                                    isa, kc, &ap, &bp, masked.as_mut_ptr(), nr, mr, nr, epi,
+                                );
+                                gemm_microkernel_spill(
+                                    isa, kc, &ap, &bp, spill.as_mut_ptr(), nr, mr, nr, epi,
+                                );
+                            }
+                            for (j, (x, y)) in masked.iter().zip(&spill).enumerate() {
+                                assert_eq!(
+                                    x.to_bits(),
+                                    y.to_bits(),
+                                    "{} kc={kc} mr={mr} nr={nr} epi#{ei} elem {j}: {x} vs {y}",
+                                    isa.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_edge_store_never_touches_past_nr() {
+        // Guard lanes beyond the tile's columns must stay untouched — the
+        // whole point of the masked store over a full-width blend.
+        for isa in Isa::available() {
+            let (mrv, nrv) = gemm_tile_shape(isa);
+            let (kc, mr, nr) = (3usize, mrv, nrv - 3);
+            let ap = rand_vec(kc * mrv, 1.0, 1);
+            let bp = rand_vec(kc * nrv, 1.0, 2);
+            // ldc == nrv leaves 3 guard columns per row.
+            let mut c = vec![f32::NAN; mr * nrv];
+            for r in c.chunks_mut(nrv) {
+                r[..nr].fill(0.0);
+            }
+            unsafe {
+                gemm_microkernel(isa, kc, &ap, &bp, c.as_mut_ptr(), nrv, mr, nr, MicroEpi::Add);
+            }
+            for (i, row) in c.chunks(nrv).enumerate() {
+                assert!(
+                    row[..nr].iter().all(|x| x.is_finite()),
+                    "{} row {i} tile columns written",
+                    isa.name()
+                );
+                assert!(
+                    row[nr..].iter().all(|x| x.is_nan()),
+                    "{} row {i} guard columns clobbered",
+                    isa.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_transpose_bitwise_matches_scalar() {
+        // The SIMD transpose pack must equal the scalar gather loop bit
+        // for bit, including the zero padding, across block-edge shapes.
+        for isa in Isa::available() {
+            for &(rows, pad) in &[(1usize, 6usize), (5, 6), (6, 6), (7, 8), (8, 8), (13, 16), (16, 16), (31, 32)] {
+                for &kc in &[1usize, 7, 8, 9, 64, 65] {
+                    for &alpha in &[1.0f32, 0.125] {
+                        let stride = kc + 3; // source wider than the block
+                        let src = rand_vec(rows * stride, 1.0, (rows * 31 + kc) as u64);
+                        let mut want = vec![f32::NAN; pad * kc];
+                        let mut got = vec![f32::NAN; pad * kc];
+                        unsafe {
+                            scalar::pack_transpose(
+                                src.as_ptr(), stride, rows, pad, kc, want.as_mut_ptr(), alpha,
+                            );
+                            pack_transpose(
+                                isa, src.as_ptr(), stride, rows, pad, kc, got.as_mut_ptr(), alpha,
+                            );
+                        }
+                        for (j, (x, y)) in got.iter().zip(&want).enumerate() {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "{} rows={rows} pad={pad} kc={kc} α={alpha} elem {j}",
+                                isa.name()
+                            );
+                        }
+                    }
                 }
             }
         }

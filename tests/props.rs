@@ -40,6 +40,32 @@ proptest! {
         prop_assert!(plan.max_unit_channels() >= 1);
     }
 
+    /// Ragged GEMM shapes near the micro-tile edges: the masked-tail /
+    /// SIMD-pack fast path matches a naive product for arbitrary
+    /// m, n, k offsets around the tile grid (ISSUE-5 coverage; the
+    /// per-ISA edge matrix lives in `gemm.rs`'s
+    /// `ragged_tile_edges_match_reference_every_isa`).
+    #[test]
+    fn ragged_gemm_matches_naive(mo in 0usize..3, no in 0usize..3, k in 1usize..80,
+                                 tiles_m in 1usize..3, tiles_n in 1usize..3) {
+        let m = tiles_m * 8 + mo * 7 + 1;
+        let n = tiles_n * 32 + no * 15 + 1;
+        let mut rng = Rng::new((m * 131 + n * 31 + k) as u64);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let c = ops::matmul(&a, &b);
+        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (m / 2, n - 1), (m - 1, n / 2)] {
+            let mut want = 0.0f64;
+            for p in 0..k {
+                want += a.at(i * k + p) as f64 * b.at(p * n + j) as f64;
+            }
+            prop_assert!(
+                (c.at(i * n + j) as f64 - want).abs() < 1e-3 * k as f64,
+                "({}, {}) of {}x{}x{}: {} vs {}", i, j, m, k, n, c.at(i * n + j), want
+            );
+        }
+    }
+
     /// Softmax rows always sum to 1 and stay finite for wild inputs.
     #[test]
     fn softmax_rows_normalized(rows in 1usize..6, cols in 1usize..9, scale in 0.1f32..100.0) {
