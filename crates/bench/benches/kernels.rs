@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use dchag_bench::bench_json::{measure_ns, update_sections};
-use dchag_tensor::{ops, Rng, Tensor};
+use dchag_tensor::{ops, DType, Rng, Tensor};
 
 /// The seed repository's scalar GEMM kernels (rows-parallel AXPY/dot loops),
 /// kept verbatim as the "before" baseline for the `gemm_blocking` group and
@@ -576,6 +576,108 @@ fn emit_kernels_json(_c: &mut Criterion) {
         ));
     }
 
+    // bf16 tier: convert-on-pack GEMM on pack-bandwidth-bound shapes, and
+    // the half-width collectives wire at w ∈ {2, 4}. GEMM sides run the
+    // serial blocked driver with identical f32 accumulation — only the
+    // operand storage (and hence the pack-stage bytes) differs.
+    let bf16_body = {
+        use dchag_collectives::{run_ranks, CommPrecision};
+        use dchag_tensor::ops::gemm::{bench_api, Operand};
+        let mut lines: Vec<String> = Vec::new();
+        for &(m, k, n) in &[(262144usize, 64usize, 16usize), (131072, 128, 8)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            let (a16, b16) = (a.to_dtype(DType::Bf16), b.to_dtype(DType::Bf16));
+            let f32_ns = measure_ns(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    bench_api::gemm_fast_serial_op(
+                        ops::GemmLayout::NN,
+                        1.0,
+                        Operand::from_tensor(&a),
+                        Operand::from_tensor(&b),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(&out);
+                },
+                quick,
+            );
+            let bf16_ns = measure_ns(
+                || {
+                    let mut out = vec![0.0f32; m * n];
+                    bench_api::gemm_fast_serial_op(
+                        ops::GemmLayout::NN,
+                        1.0,
+                        Operand::from_tensor(&a16),
+                        Operand::from_tensor(&b16),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(&out);
+                },
+                quick,
+            );
+            let flops = 2 * m * k * n;
+            lines.push(format!(
+                "\"gemm_pack_bound_{m}x{k}x{n}\": {{ \"f32_store_ns\": {f32_ns:.0}, \
+                 \"bf16_store_ns\": {bf16_ns:.0}, \"speedup\": {:.2}, \"gflops_bf16\": {:.1} }}",
+                f32_ns / bf16_ns,
+                flops as f64 / bf16_ns
+            ));
+        }
+        const WIRE_ELEMS: usize = 256 * 1024;
+        const WIRE_ROUNDS: usize = 4;
+        let wire = |world: usize, precision: CommPrecision| -> (f64, usize) {
+            let go = || {
+                let t0 = std::time::Instant::now();
+                let run = run_ranks(world, move |ctx| {
+                    let comm = ctx.comm.with_precision(precision);
+                    let t = Tensor::full([WIRE_ELEMS], (ctx.comm.rank() + 1) as f32);
+                    for _ in 0..WIRE_ROUNDS {
+                        black_box(comm.iall_reduce_sum(&t).wait().at(0));
+                    }
+                    ctx.comm.barrier();
+                    ctx.comm.traffic().bytes_on_wire()
+                });
+                (t0.elapsed().as_nanos() as f64 / WIRE_ROUNDS as f64, run.outputs[0])
+            };
+            let (first_ns, bytes) = go();
+            let ns = if quick {
+                first_ns
+            } else {
+                let mut samples = vec![first_ns];
+                for _ in 0..4 {
+                    samples.push(go().0);
+                }
+                samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                samples[samples.len() / 2]
+            };
+            (ns, bytes / WIRE_ROUNDS)
+        };
+        for &w in &[2usize, 4] {
+            let (f32_ns, f32_bytes) = wire(w, CommPrecision::F32);
+            let (bf_ns, bf_bytes) = wire(w, CommPrecision::Bf16);
+            lines.push(format!(
+                "\"allreduce_wire_1MiB_w{w}\": {{ \"f32_ns_per_round\": {f32_ns:.0}, \
+                 \"bf16_ns_per_round\": {bf_ns:.0}, \"f32_bytes_on_wire\": {f32_bytes}, \
+                 \"bf16_bytes_on_wire\": {bf_bytes}, \"bytes_halved\": {} }}",
+                bf_bytes * 2 == f32_bytes
+            ));
+        }
+        let mut s = String::from("{\n");
+        for (i, l) in lines.iter().enumerate() {
+            let comma = if i + 1 == lines.len() { "" } else { "," };
+            s.push_str(&format!("    {l}{comma}\n"));
+        }
+        s.push_str("  }");
+        s
+    };
+
     let mut body = String::from("{\n");
     for (name, before, after, flops) in entries.iter() {
         // Effective GFLOP/s of the "after" kernel, so BENCH entries are
@@ -622,7 +724,15 @@ fn emit_kernels_json(_c: &mut Criterion) {
                 recorded next to it (single_core=true means the pipeline can only eliminate \
                 rendezvous stalls, so ~0 overlap is expected, not a regression), records the \
                 alpha-beta-derived adaptive bucket/chunk sizes next to the fixed fallbacks, and \
-                fits measured_alpha_beta from the run's own TrafficLog chunk timestamps.";
+                fits measured_alpha_beta from the run's own TrafficLog chunk timestamps. The \
+                bf16 section compares f32-stored vs bf16-stored operands through the identical \
+                serial blocked f32-accumulating GEMM driver on pack-bandwidth-bound shapes \
+                (convert-on-pack: half the streamed bytes), and the f32 vs bf16 collectives \
+                wire (1 MiB f32 payload all-reduce at w=2 and w=4: wall time per round plus \
+                TrafficLog bytes_on_wire, which exactly halve on the bf16 wire; on this \
+                in-process shared-memory transport the encode/decode cost is not repaid in \
+                wall time — halved bytes is the lever for a real fabric, like the \
+                collectives section's single_core overlap caveat).";
     let isa = dchag_tensor::simd::active_isa();
     let (mr, nr) = dchag_tensor::simd::gemm_tile_shape(isa);
     let simd = format!(
@@ -637,9 +747,86 @@ fn emit_kernels_json(_c: &mut Criterion) {
             ("quick_mode", format!("{quick}")),
             ("simd", simd),
             ("kernels", body),
+            ("bf16", bf16_body),
         ],
     );
     eprintln!("wrote {path}");
+}
+
+/// bf16 storage-and-transport tier: convert-on-pack GEMM (half the
+/// operand bytes into the same f32 micro-kernels) and the half-width
+/// collectives wire. Group name carries "bf16" for the CI smoke filter.
+fn bench_bf16(c: &mut Criterion) {
+    use dchag_collectives::{run_ranks, CommPrecision};
+    use dchag_tensor::ops::gemm::{bench_api, Operand};
+    let mut g = c.benchmark_group("bf16");
+    g.sample_size(10);
+
+    // Pack-bandwidth-bound GEMM (A streams from DRAM; n=16 keeps
+    // FLOPs/byte low): f32-stored vs bf16-stored operands, same serial
+    // blocked driver and f32 accumulation.
+    let (m, k, n) = (65536usize, 64usize, 16usize);
+    let mut rng = Rng::new(51);
+    let a = Tensor::randn([m, k], 1.0, &mut rng);
+    let b = Tensor::randn([k, n], 1.0, &mut rng);
+    let (a16, b16) = (a.to_dtype(DType::Bf16), b.to_dtype(DType::Bf16));
+    g.bench_function(format!("gemm_f32_store_{m}x{k}x{n}"), |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; m * n];
+            bench_api::gemm_fast_serial_op(
+                ops::GemmLayout::NN,
+                1.0,
+                Operand::from_tensor(&a),
+                Operand::from_tensor(&b),
+                &mut out,
+                m,
+                k,
+                n,
+            );
+            black_box(out)
+        })
+    });
+    g.bench_function(format!("gemm_bf16_store_{m}x{k}x{n}"), |bench| {
+        bench.iter(|| {
+            let mut out = vec![0.0f32; m * n];
+            bench_api::gemm_fast_serial_op(
+                ops::GemmLayout::NN,
+                1.0,
+                Operand::from_tensor(&a16),
+                Operand::from_tensor(&b16),
+                &mut out,
+                m,
+                k,
+                n,
+            );
+            black_box(out)
+        })
+    });
+
+    // Chunked all-reduce on the f32 vs bf16 wire (encode on send, f32
+    // decode-and-reduce; same deterministic rank order).
+    for &(world, precision, label) in &[
+        (2usize, CommPrecision::F32, "allreduce_f32_wire_w2"),
+        (2, CommPrecision::Bf16, "allreduce_bf16_wire_w2"),
+        (4, CommPrecision::F32, "allreduce_f32_wire_w4"),
+        (4, CommPrecision::Bf16, "allreduce_bf16_wire_w4"),
+    ] {
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                let run = run_ranks(world, move |ctx| {
+                    let comm = ctx.comm.with_precision(precision);
+                    let t = Tensor::full([64 * 1024], (ctx.comm.rank() + 1) as f32);
+                    let mut sink = 0.0;
+                    for _ in 0..4 {
+                        sink = comm.iall_reduce_sum(&t).wait().at(0);
+                    }
+                    sink
+                });
+                black_box(run.outputs)
+            })
+        });
+    }
+    g.finish();
 }
 
 fn bench_attention_primitives(c: &mut Criterion) {
@@ -756,6 +943,6 @@ fn bench_autograd_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_gemm_blocking, bench_gemm_ragged, bench_fusion, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead, emit_kernels_json
+    targets = bench_matmul, bench_gemm_blocking, bench_gemm_ragged, bench_fusion, bench_bf16, bench_attention_primitives, bench_norm_and_patchify, bench_autograd_overhead, emit_kernels_json
 }
 criterion_main!(benches);

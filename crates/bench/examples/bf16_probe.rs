@@ -1,0 +1,80 @@
+//! Shape scout for the `bf16` BENCH section: which pack-bandwidth-bound
+//! GEMM shapes gain the most from bf16 convert-on-pack (half the operand
+//! bytes into the same f32 micro-kernels)?
+//!
+//! ```text
+//! cargo run --release -p dchag-bench --example bf16_probe
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dchag_tensor::ops::gemm::{bench_api, Operand};
+use dchag_tensor::{ops, DType, Rng, Tensor};
+
+fn median_ns(mut f: impl FnMut(), iters: usize) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    for &(m, k, n) in &[
+        (131072usize, 128usize, 8usize),
+        (262144, 32, 16),
+        (262144, 64, 16),
+        (131072, 128, 8),
+        (262144, 32, 16),
+        (262144, 64, 16),
+    ] {
+        let mut rng = Rng::new(7);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let a16 = a.to_dtype(DType::Bf16);
+        let b16 = b.to_dtype(DType::Bf16);
+        let iters = (200_000_000 / (2 * m * k * n)).clamp(20, 400);
+        let f32_ns = median_ns(
+            || {
+                let mut out = vec![0.0f32; m * n];
+                bench_api::gemm_fast_serial_op(
+                    ops::GemmLayout::NN,
+                    1.0,
+                    Operand::from_tensor(&a),
+                    Operand::from_tensor(&b),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+                black_box(&out);
+            },
+            iters,
+        );
+        let bf16_ns = median_ns(
+            || {
+                let mut out = vec![0.0f32; m * n];
+                bench_api::gemm_fast_serial_op(
+                    ops::GemmLayout::NN,
+                    1.0,
+                    Operand::from_tensor(&a16),
+                    Operand::from_tensor(&b16),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+                black_box(&out);
+            },
+            iters,
+        );
+        println!(
+            "{m}x{k}x{n}: f32-store {f32_ns:>10.0} ns, bf16-store {bf16_ns:>10.0} ns, speedup {:.2}x",
+            f32_ns / bf16_ns
+        );
+    }
+}

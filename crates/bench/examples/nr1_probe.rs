@@ -1,0 +1,96 @@
+//! Decision probe for the ragged-tail "nr=1 micro-kernel" question (see
+//! the tensor README's "Ragged-shape fast path" notes).
+//!
+//! `gemm_ragged_257x16x257` leaves a 1-column N-tail that the driver runs
+//! through the masked `nr_t`-wide micro-kernel at 1/nr_t lane utilization.
+//! Would a dedicated nr=1 kernel (a k-dot GEMV per row) be worth autotuning
+//! machinery? This probe measures the *upper bound* of that win: the full
+//! masked product vs a pre-split 256-column product plus an ideal separate
+//! GEMV for the last column (split/copy cost excluded — machinery could
+//! never beat this). Run with:
+//!
+//! ```text
+//! cargo run --release -p dchag-bench --example nr1_probe
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dchag_tensor::ops::gemm::bench_api;
+use dchag_tensor::{ops, Rng, Tensor};
+
+fn median_ns(mut f: impl FnMut(), iters: usize) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Ideal nr=1 tail kernel: one k-dot per output row, 4-way unrolled.
+fn gemv_col(a: &[f32], bcol: &[f32], c: &mut [f32], m: usize, k: usize) {
+    for (i, out) in c.iter_mut().enumerate().take(m) {
+        let row = &a[i * k..(i + 1) * k];
+        let mut acc = [0.0f32; 4];
+        let chunks = k / 4;
+        for j in 0..chunks {
+            let p = j * 4;
+            acc[0] += row[p] * bcol[p];
+            acc[1] += row[p + 1] * bcol[p + 1];
+            acc[2] += row[p + 2] * bcol[p + 2];
+            acc[3] += row[p + 3] * bcol[p + 3];
+        }
+        let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for p in chunks * 4..k {
+            s += row[p] * bcol[p];
+        }
+        *out = s;
+    }
+}
+
+fn main() {
+    let (m, k, n) = (257usize, 16usize, 257usize);
+    let mut rng = Rng::new(97);
+    let a = Tensor::randn([m, k], 1.0, &mut rng);
+    let b = Tensor::randn([k, n], 1.0, &mut rng);
+
+    // Pre-split B (cost excluded: this is the machinery's best case).
+    let n0 = n - 1;
+    let mut b_main = vec![0.0f32; k * n0];
+    let mut b_col = vec![0.0f32; k];
+    for p in 0..k {
+        b_main[p * n0..(p + 1) * n0].copy_from_slice(&b.data()[p * n..p * n + n0]);
+        b_col[p] = b.data()[p * n + n0];
+    }
+
+    let iters = 400;
+    let masked = median_ns(
+        || {
+            let mut out = vec![0.0f32; m * n];
+            bench_api::gemm_fast_serial(
+                ops::GemmLayout::NN, 1.0, a.data(), b.data(), &mut out, m, k, n,
+            );
+            black_box(&out);
+        },
+        iters,
+    );
+    let split = median_ns(
+        || {
+            let mut out = vec![0.0f32; m * n0];
+            bench_api::gemm_fast_serial(
+                ops::GemmLayout::NN, 1.0, a.data(), b_main.as_slice(), &mut out, m, k, n0,
+            );
+            let mut tail = vec![0.0f32; m];
+            gemv_col(a.data(), &b_col, &mut tail, m, k);
+            black_box((&out, &tail));
+        },
+        iters,
+    );
+
+    println!("gemm_ragged_{m}x{k}x{n} masked-tail:          {masked:>10.0} ns");
+    println!("gemm_ragged_{m}x{k}x{n0}+ideal nr=1 column:   {split:>10.0} ns");
+    println!("upper-bound win of an nr=1 path: {:.3}x", masked / split);
+}

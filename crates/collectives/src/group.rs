@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 use dchag_tensor::ops;
 use dchag_tensor::Tensor;
 
-use crate::nonblocking::{self, CollKind, CommRequest};
+use crate::nonblocking::{self, CollKind, CommPrecision, CommRequest};
 use crate::thread_comm::CommCore;
 use crate::topology::Topology;
 use crate::traffic::{CollOp, TrafficLog};
@@ -68,6 +68,11 @@ pub struct Communicator {
     group_ranks: Vec<usize>,
     core: Arc<CommCore>,
     world: Arc<WorldShared>,
+    /// Wire precision for the chunked nonblocking collectives issued
+    /// through this handle (exchange-path collectives move `Arc` clones and
+    /// are unaffected). Handles of the same group may only mix precisions
+    /// if every rank still issues each *collective* with the same one.
+    precision: CommPrecision,
 }
 
 impl Communicator {
@@ -78,7 +83,24 @@ impl Communicator {
             group_ranks: (0..size).collect(),
             core,
             world,
+            precision: CommPrecision::F32,
         }
+    }
+
+    /// A handle on the same group whose chunked collectives use `precision`
+    /// on the wire. Opt-in and explicit: every rank of the group must issue
+    /// a given collective through handles that agree on the precision
+    /// (validated at deposit time).
+    pub fn with_precision(&self, precision: CommPrecision) -> Communicator {
+        let mut c = self.clone();
+        c.precision = precision;
+        c
+    }
+
+    /// Wire precision of chunked collectives issued through this handle.
+    #[inline]
+    pub fn precision(&self) -> CommPrecision {
+        self.precision
     }
 
     /// Rank within this group.
@@ -132,8 +154,19 @@ impl Communicator {
     }
 
     fn issue(&self, kind: CollKind, t: &Tensor) -> CommRequest {
-        let seq = self.record(kind.op(), t.size_bytes());
-        nonblocking::issue(&self.core, self.rank, kind, t, seq, self.world.log.clone())
+        // The logical payload reflects what this wire actually carries: a
+        // bf16 wire halves the sendbuf bytes (the α-β fit and per-op byte
+        // totals read this).
+        let seq = self.record(kind.op(), t.numel() * self.precision.elem_bytes());
+        nonblocking::issue(
+            &self.core,
+            self.rank,
+            kind,
+            self.precision,
+            t,
+            seq,
+            self.world.log.clone(),
+        )
     }
 
     // ----- nonblocking collectives ------------------------------------------
@@ -250,6 +283,7 @@ impl Communicator {
             group_ranks,
             core: new_core,
             world: self.world.clone(),
+            precision: self.precision,
         }
     }
 }

@@ -27,7 +27,9 @@ pub mod traffic;
 
 pub use group::{Communicator, WorldShared};
 pub use launch::{run_ranks, run_topology, RankCtx, WorldRun};
-pub use nonblocking::{comm_chunk_elems, set_comm_chunk_elems, CommRequest, COMM_CHUNK_ELEMS};
+pub use nonblocking::{
+    comm_chunk_elems, set_comm_chunk_elems, CommPrecision, CommRequest, COMM_CHUNK_ELEMS,
+};
 pub use topology::Topology;
 pub use traffic::{ChunkEvent, CollEvent, CollOp, TrafficLog};
 

@@ -16,6 +16,11 @@ pub struct AdamW {
     t: u64,
     m: Vec<Option<Tensor>>,
     v: Vec<Option<Tensor>>,
+    /// f32 master copy of each bf16-stored parameter (None for f32
+    /// params). The update math always runs in f32 against the master;
+    /// only the stored value re-rounds to bf16 after each step, so
+    /// updates smaller than one bf16 ulp still accumulate.
+    master: Vec<Option<Tensor>>,
 }
 
 impl AdamW {
@@ -29,6 +34,7 @@ impl AdamW {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            master: Vec::new(),
         }
     }
 
@@ -46,6 +52,7 @@ impl AdamW {
         while self.m.len() < store.len() {
             self.m.push(None);
             self.v.push(None);
+            self.master.push(None);
         }
     }
 
@@ -97,15 +104,35 @@ impl AdamW {
             let mut vdat = v_prev.into_data();
             let mut m_slot = None;
             let mut v_slot = None;
+            let master_prev = self.master[i].take();
+            let mut master_slot = None;
             store.update(id, |p| {
-                let mut pdat = p.into_data();
+                // bf16-stored params step against the f32 master copy
+                // (seeded from the stored value on first touch); f32 params
+                // reuse the parameter buffer directly.
+                let bf16 = p.dtype() == DType::Bf16;
+                let mut pdat = if bf16 {
+                    master_prev
+                        .map(|t| t.into_data())
+                        .unwrap_or_else(|| p.to_vec())
+                } else {
+                    p.into_data()
+                };
                 dchag_tensor::simd::adamw_sweep(&mut pdat, &mut mdat, &mut vdat, g.data(), &coeffs);
                 m_slot = Some(Tensor::from_vec(mdat, shape.clone()));
                 v_slot = Some(Tensor::from_vec(vdat, shape.clone()));
-                Tensor::from_vec(pdat, shape.clone())
+                let updated = Tensor::from_vec(pdat, shape.clone());
+                if bf16 {
+                    let stored = updated.to_dtype(DType::Bf16);
+                    master_slot = Some(updated);
+                    stored
+                } else {
+                    updated
+                }
             });
             self.m[i] = m_slot;
             self.v[i] = v_slot;
+            self.master[i] = master_slot;
         }
     }
 }
@@ -210,6 +237,45 @@ mod tests {
         let mut grads = vec![Some(Tensor::full([2], 0.1))];
         clip_global_norm(&mut grads, 10.0);
         assert_eq!(grads[0].as_ref().unwrap().to_vec(), vec![0.1, 0.1]);
+    }
+
+    #[test]
+    fn bf16_params_descend_with_f32_master() {
+        // Same quadratic as the f32 test, but the parameter is *stored* in
+        // bf16; the optimizer must keep it in bf16 storage while the master
+        // copy carries the f32 trajectory.
+        let mut store = ParamStore::new();
+        let id = store.add(
+            "x",
+            Tensor::from_vec(vec![5.0, -3.0], [2]).to_dtype(DType::Bf16),
+        );
+        let mut opt = AdamW::new(0.1);
+        for _ in 0..200 {
+            let gv: Vec<f32> = store.get(id).to_vec().iter().map(|x| 2.0 * x).collect();
+            opt.step(&mut store, &[Some(Tensor::from_vec(gv, [2]))]);
+        }
+        assert_eq!(store.get(id).dtype(), DType::Bf16);
+        let decoded = store.get(id).to_dtype(DType::F32);
+        assert!(decoded.max_abs() < 0.1, "{:?}", decoded.to_vec());
+    }
+
+    #[test]
+    fn bf16_master_accumulates_sub_ulp_updates() {
+        // lr · ĝ ≈ 1e-4 per step is far below one bf16 ulp at 1.0 (~4e-3):
+        // without the f32 master every step would round back to exactly 1.0
+        // and the parameter would never move.
+        let mut store = ParamStore::new();
+        let id = store.add("x", Tensor::ones([4]).to_dtype(DType::Bf16));
+        let mut opt = AdamW::new(1e-4);
+        for _ in 0..60 {
+            opt.step(&mut store, &[Some(Tensor::ones([4]))]);
+        }
+        assert_eq!(store.get(id).dtype(), DType::Bf16);
+        assert!(
+            store.get(id).at(0) < 1.0,
+            "master must carry sub-ulp updates, got {}",
+            store.get(id).at(0)
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod autograd;
 pub mod checkpoint;
 pub mod device;
+pub mod dtype;
 pub mod init;
 pub mod ops;
 pub(crate) mod par;
@@ -26,6 +27,7 @@ pub mod tensor;
 
 pub use autograd::{Grads, Tape, Var};
 pub use device::MemCounter;
+pub use dtype::DType;
 pub use param::{Binder, LocalBinder, ParamId, ParamStore};
 pub use rng::Rng;
 pub use shape::Shape;
@@ -34,6 +36,7 @@ pub use tensor::Tensor;
 /// Convenience prelude for downstream crates.
 pub mod prelude {
     pub use crate::autograd::{Grads, Tape, Var};
+    pub use crate::dtype::DType;
     pub use crate::param::{Binder, LocalBinder, ParamId, ParamStore};
     pub use crate::rng::Rng;
     pub use crate::shape::Shape;

@@ -11,7 +11,7 @@
 //!   `[N,1,C]` weights / `[N,1,D]` pooled as separate batched-matmul
 //!   tensors.
 
-use crate::ops::gemm::{gemm, gemm_bias, GemmLayout};
+use crate::ops::gemm::{gemm, gemm_batch_into, gemm_bias_op, gemm_op, GemmJob, GemmLayout, Operand};
 use crate::ops::reduce::softmax_last;
 use crate::par;
 use crate::shape::Shape;
@@ -38,7 +38,17 @@ fn linear_dims(a: &Tensor, w: &Tensor, bias: &Tensor) -> (usize, usize, usize) {
 pub fn matmul_bias(a: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
     let (m, k, n) = linear_dims(a, w, bias);
     let mut c = vec![0.0f32; m * n];
-    gemm_bias(GemmLayout::NN, 1.0, a.data(), w.data(), bias.data(), &mut c, m, k, n);
+    gemm_bias_op(
+        GemmLayout::NN,
+        1.0,
+        Operand::from_tensor(a),
+        Operand::from_tensor(w),
+        bias.data(),
+        &mut c,
+        m,
+        k,
+        n,
+    );
     let mut out_dims = a.dims().to_vec();
     *out_dims.last_mut().unwrap() = n;
     Tensor::from_vec(c, Shape::new(&out_dims))
@@ -50,7 +60,17 @@ pub fn matmul_bias(a: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
 pub fn linear_gelu(a: &Tensor, w: &Tensor, bias: &Tensor) -> (Tensor, Tensor) {
     let (m, k, n) = linear_dims(a, w, bias);
     let mut h = vec![0.0f32; m * n];
-    gemm_bias(GemmLayout::NN, 1.0, a.data(), w.data(), bias.data(), &mut h, m, k, n);
+    gemm_bias_op(
+        GemmLayout::NN,
+        1.0,
+        Operand::from_tensor(a),
+        Operand::from_tensor(w),
+        bias.data(),
+        &mut h,
+        m,
+        k,
+        n,
+    );
     let mut y = vec![0.0f32; h.len()];
     par::for_each_row_zip(&mut y, n, &mut h, n, |_, y_row, h_row| {
         crate::simd::gelu_into(h_row, y_row);
@@ -73,42 +93,51 @@ pub fn linear_gelu(a: &Tensor, w: &Tensor, bias: &Tensor) -> (Tensor, Tensor) {
 /// Returns `(pooled [N, D], weights [N, C])`; the weights are what the
 /// backward pass needs. Replaces a matmul → reshape → softmax → reshape →
 /// bmm chain (five tape nodes, three materialized intermediates) with one
-/// node, and turns the per-position `[1,C]×[C,D]` bmm — far too small to
-/// amortize GEMM dispatch — into a row-major AXPY sweep.
+/// node. The logits fold into a single `[N·C, D] × [D, 1]` GEMV, and the
+/// per-position `[1,C]×[C,D]` pooling products — individually far too small
+/// to amortize a GEMM dispatch — run as one ragged batch through
+/// [`gemm_batch_into`], which picks the small-product kernel per job and
+/// parallelizes across the whole batch.
 pub fn softmax_pool(y: &Tensor, pw: &Tensor) -> (Tensor, Tensor) {
     assert_eq!(y.ndim(), 3, "softmax_pool wants [N, C, D], got {}", y.shape());
     let (nn, c, d) = (y.dims()[0], y.dims()[1], y.dims()[2]);
     assert_eq!(pw.numel(), d, "pool weight len {} vs dim {d}", pw.numel());
-    let p = pw.data();
+    let yo = Operand::from_tensor(y);
 
-    // Logits: plain dot per (n, c) row — a GEMV; n=1 GEMM dispatch per
-    // position would be all overhead. Parallelism is gated on the amount
-    // of `y` read, not the (much smaller) buffers written.
-    let par = nn * c * d >= par::PAR_NUMEL;
+    // Logits: every position's `[C,D]·[D,1]` product is the same GEMV over
+    // consecutive rows, so the whole thing folds into ONE `[N·C, D]×[D, 1]`
+    // product — one dispatch instead of N tiny ones.
     let mut logits = vec![0.0f32; nn * c];
-    par::for_each_row_indexed_if(par, &mut logits, c, |n_idx, l_row| {
-        for (ci, l) in l_row.iter_mut().enumerate() {
-            let row = &y.data()[(n_idx * c + ci) * d..(n_idx * c + ci + 1) * d];
-            let mut s = 0.0f32;
-            for (&rv, &pv) in row.iter().zip(p) {
-                s = rv.mul_add(pv, s);
-            }
-            *l = s;
-        }
-    });
+    gemm_op(
+        GemmLayout::NN,
+        1.0,
+        yo,
+        Operand::from_tensor(pw),
+        &mut logits,
+        nn * c,
+        d,
+        1,
+    );
 
     let weights = softmax_last(&Tensor::from_vec(logits, [nn, c]));
 
+    // Pooling: out[n,:] = w[n,:]·y[n,:,:] is genuinely batched (a distinct
+    // weight row per position) — hand the ragged batch to gemm_batch_into.
+    let wd = weights.data();
+    let jobs: Vec<GemmJob<'_>> = (0..nn)
+        .map(|n_idx| GemmJob {
+            layout: GemmLayout::NN,
+            alpha: 1.0,
+            a: Operand::F32(&wd[n_idx * c..(n_idx + 1) * c]),
+            b: yo.slice(n_idx * c * d..(n_idx + 1) * c * d),
+            m: 1,
+            k: c,
+            n: d,
+            c_off: n_idx * d,
+        })
+        .collect();
     let mut out = vec![0.0f32; nn * d];
-    par::for_each_row_indexed_if(par, &mut out, d, |n_idx, o_row| {
-        for ci in 0..c {
-            let wv = weights.at(n_idx * c + ci);
-            let row = &y.data()[(n_idx * c + ci) * d..(n_idx * c + ci + 1) * d];
-            for (o, &rv) in o_row.iter_mut().zip(row) {
-                *o = wv.mul_add(rv, *o);
-            }
-        }
-    });
+    gemm_batch_into(&jobs, &mut out);
 
     (Tensor::from_vec(out, [nn, d]), weights)
 }
@@ -314,8 +343,12 @@ mod tests {
             let gs = Tensor::from_vec(g.data()[n_idx * d..(n_idx + 1) * d].to_vec(), [1, d]);
             let (_, ws) = softmax_pool(&ys, &pw);
             let (dys, dpws) = softmax_pool_backward(&ys, &pw, &ws, &gs);
+            // The batched forward computes logits through the blocked GEMV
+            // path while the per-position reference takes the small-product
+            // kernel; accumulation order differs, so the softmax weights
+            // (and hence dy) agree to rounding, not bitwise.
             for j in 0..c * d {
-                assert!((dy.at(n_idx * c * d + j) - dys.at(j)).abs() < 1e-5);
+                assert!((dy.at(n_idx * c * d + j) - dys.at(j)).abs() < 1e-4);
             }
             for (j, w) in want_dpw.iter_mut().enumerate() {
                 *w += dpws.at(j);

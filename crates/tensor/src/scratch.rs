@@ -29,6 +29,14 @@
 //!
 //! If the closure panics the buffer is simply dropped with the unwind
 //! (never returned to the list), so a poisoned buffer can't resurface.
+//!
+//! # Memory accounting
+//!
+//! Borrowed scratch charges the thread's [`crate::device::MemCounter`]
+//! (when one is installed) for the borrow's duration, so kernel-internal
+//! temporaries show up in per-device peak budgeting alongside tensor
+//! buffers. The accounting is per-thread like the tracker itself: scratch
+//! taken on untracked worker threads (e.g. rayon's pool) is not charged.
 
 use std::cell::RefCell;
 
@@ -42,6 +50,9 @@ thread_local! {
 }
 
 fn take(len: usize) -> Vec<f32> {
+    if let Some(c) = crate::device::current_tracker() {
+        c.add(len * 4);
+    }
     FREE.with(|f| {
         let mut free = f.borrow_mut();
         match free.pop() {
@@ -57,6 +68,12 @@ fn take(len: usize) -> Vec<f32> {
 }
 
 fn put(buf: Vec<f32>) {
+    // Release what `take` charged (the slice length is fixed for the
+    // borrow, so `buf.len()` is the charged length). Buffers dropped
+    // instead of pooled still release here first.
+    if let Some(c) = crate::device::current_tracker() {
+        c.sub(buf.len() * 4);
+    }
     FREE.with(|f| {
         let mut free = f.borrow_mut();
         if free.len() < MAX_POOLED {
@@ -120,6 +137,20 @@ mod tests {
             a.fill(1.0);
         });
         with_scratch(4, |a| assert_eq!(a.len(), 4));
+    }
+
+    #[test]
+    fn borrowed_scratch_charges_the_tracker() {
+        let c = crate::device::MemCounter::new();
+        crate::device::with_tracker(c.clone(), || {
+            with_scratch(256, |_| {
+                assert_eq!(c.current(), 256 * 4);
+                with_scratch(64, |_| assert_eq!(c.current(), (256 + 64) * 4));
+                assert_eq!(c.current(), 256 * 4, "inner borrow released");
+            });
+            assert_eq!(c.current(), 0, "all scratch released");
+            assert!(c.peak() >= (256 + 64) * 4, "peak saw nested borrows");
+        });
     }
 
     #[test]
