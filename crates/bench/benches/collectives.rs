@@ -268,7 +268,125 @@ fn bench_dp_bucketed_backward(c: &mut Criterion) {
     g.finish();
 }
 
+// ----- fault tolerance -------------------------------------------------------
+
+use dchag_collectives::{run_ranks_faulty, Communicator, FaultPlan, FaultPoint};
+use dchag_core::{resilient_train_loop, train_step, ResilienceConfig};
+use dchag_model::Linear;
+use std::time::{Duration, Instant};
+
+const FT_ELEMS: usize = 64 * 1024;
+const FT_ROUNDS: usize = 128;
+
+/// N allreduce rounds through either the infallible `wait()` path or the
+/// deadline-checked `try_wait(Some(..))` path. The ratio of the two is the
+/// failure-free cost of detection (acceptance: ≤ 1% overhead). Only the
+/// round loop is timed — barriers fence out world spawn and teardown, and
+/// the slowest rank's clock is the wall that matters.
+fn allreduce_ft_rounds(world: usize, deadline_checked: bool) -> f64 {
+    let run = run_ranks(world, |ctx| {
+        let t = Tensor::full([FT_ELEMS], (ctx.comm.rank() + 1) as f32);
+        let mut sink = 0.0f32;
+        ctx.comm.barrier();
+        let t0 = Instant::now();
+        for _ in 0..FT_ROUNDS {
+            sink += if deadline_checked {
+                ctx.comm
+                    .try_all_reduce_sum(&t, Some(Duration::from_secs(1)))
+                    .expect("no faults injected")
+                    .at(0)
+            } else {
+                ctx.comm.all_reduce_sum(&t).at(0)
+            };
+        }
+        ctx.comm.barrier();
+        black_box(sink);
+        t0.elapsed().as_secs_f64() * 1e9
+    });
+    run.outputs.iter().fold(0.0f64, |a, &b| a.max(b))
+}
+
+/// Failure-detection latency: rank 1 of a 2-rank world dies before its
+/// first deposit; returns how long rank 0's deadline-checked allreduce took
+/// to surface the typed error, in µs.
+fn detection_latency_us() -> f64 {
+    let plan = FaultPlan::kill(1, FaultPoint::BeforeIssue(0));
+    let run = run_ranks_faulty(2, &plan, |ctx| {
+        let t = Tensor::full([FT_ELEMS], 1.0);
+        let t0 = Instant::now();
+        let r = ctx.comm.try_all_reduce_sum(&t, Some(Duration::from_secs(5)));
+        assert!(r.is_err(), "peer death must surface");
+        t0.elapsed().as_secs_f64() * 1e6
+    });
+    run.outputs[0].as_ref().ok().copied().unwrap_or(f64::NAN)
+}
+
+type FtModel = (Linear, DataParallel, dchag_model::AdamW);
+
+fn ft_build(comm: &Communicator) -> (ParamStore, FtModel) {
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(5);
+    let lin = Linear::new(&mut store, &mut rng, "l", 16, 4, true);
+    (store, (lin, DataParallel::new(comm.clone()), AdamW::new(0.05)))
+}
+
+fn ft_step(store: &mut ParamStore, m: &mut FtModel, batch: &Tensor) -> f32 {
+    let (lin, dp, opt) = m;
+    let x = dp.shard_batch(batch);
+    train_step(store, opt, 10.0, Some(dp), |bind| {
+        let tape = bind.tape();
+        let xv = tape.leaf(x.clone());
+        let y = lin.forward(bind, &xv);
+        tape.mean_all(&tape.mul(&y, &y))
+    })
+}
+
+/// End-to-end time of one detect→regroup→restore cycle: a 4-rank DP run
+/// loses rank 2 in step 3 and recovers onto 3 survivors from the step-2
+/// checkpoint. Returns the slowest survivor's recovery wall, in µs.
+fn time_to_recover_us() -> f64 {
+    let batches: Vec<Tensor> = {
+        let mut rng = Rng::new(41);
+        (0..6).map(|_| Tensor::randn([12, 16], 1.0, &mut rng)).collect()
+    };
+    let plan = FaultPlan::kill(2, FaultPoint::BeforeIssue(3));
+    let rcfg = ResilienceConfig {
+        checkpoint_every: 2,
+        regroup_deadline: Duration::from_secs(2),
+        ..ResilienceConfig::default()
+    };
+    let run = run_ranks_faulty(4, &plan, |ctx| {
+        let report = resilient_train_loop(&ctx.comm, &rcfg, 6, ft_build, |store, m, _c, i| {
+            ft_step(store, m, &batches[i])
+        })
+        .expect("survivors recover");
+        report.recovery_us.first().copied().unwrap_or(f64::NAN)
+    });
+    run.outputs.iter().filter_map(|o| o.as_ref().ok()).fold(0.0f64, |a, &b| a.max(b))
+}
+
+fn bench_fault_tolerance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_tolerance");
+    g.bench_function("allreduce_infallible_w4", |b| {
+        b.iter(|| black_box(allreduce_ft_rounds(4, false)))
+    });
+    g.bench_function("allreduce_deadline_checked_w4", |b| {
+        b.iter(|| black_box(allreduce_ft_rounds(4, true)))
+    });
+    g.bench_function("detection_latency_w2", |b| b.iter(|| black_box(detection_latency_us())));
+    g.finish();
+}
+
 // ----- parity checks + JSON emitter ------------------------------------------
+
+/// The criterion shim's positional filter skips *benchmark ids*, but the
+/// emitter targets below never register one — without this guard a
+/// filtered run (e.g. CI's `-- fault_tolerance --test`) would still pay
+/// for every emitter. Mirrors the shim's substring semantics.
+fn emitter_enabled(name: &str) -> bool {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    filter.is_none_or(|f| name.contains(&f))
+}
 
 /// DP: overlapped DdpBinder grads must equal blocking sync bitwise.
 fn dp_parity(world: usize) -> bool {
@@ -348,6 +466,9 @@ fn measured_wire_bytes(world: usize) -> usize {
 /// pipelined wall clocks, measured overlap fraction, wire bytes, and the
 /// bitwise-parity verdicts the acceptance criteria call for.
 fn emit_collectives_json(_c: &mut Criterion) {
+    if !emitter_enabled("emit_collectives_json") {
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--test");
     let mut lines: Vec<String> = Vec::new();
 
@@ -487,10 +608,74 @@ fn emit_collectives_json(_c: &mut Criterion) {
     eprintln!("wrote {path}");
 }
 
+/// Refresh the `fault_tolerance` section of `BENCH_kernels.json`: the
+/// failure-free cost of deadline-checked waits (acceptance: ≤ 1%), the
+/// latency from peer death to a typed error, and the wall clock of one
+/// full detect→regroup→restore cycle.
+fn emit_fault_tolerance_json(_c: &mut Criterion) {
+    if !emitter_enabled("emit_fault_tolerance_json") {
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--test");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Interleave the two paths in back-to-back pairs and take the median
+    // of per-pair ratios: on a busy single-core host the launch-to-launch
+    // drift dwarfs the true difference, and pairing cancels it.
+    let pairs = if quick { 1 } else { 15 };
+    let mut inf = Vec::new();
+    let mut chk = Vec::new();
+    let mut ratios = Vec::new();
+    for i in 0..pairs {
+        // Alternate which path runs first so cache/scheduler warmth does
+        // not systematically favor one side of the ratio.
+        let (a, b) = if i % 2 == 0 {
+            let a = allreduce_ft_rounds(4, false);
+            (a, allreduce_ft_rounds(4, true))
+        } else {
+            let b = allreduce_ft_rounds(4, true);
+            (allreduce_ft_rounds(4, false), b)
+        };
+        inf.push(a);
+        chk.push(b);
+        ratios.push(b / a);
+    }
+    let med = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    let infallible = med(&mut inf);
+    let deadline_checked = med(&mut chk);
+    let overhead_pct = (med(&mut ratios) - 1.0) * 100.0;
+    // The spread tells a reader whether `overhead_pct` means anything on
+    // this host or is below the measurement noise floor.
+    let spread_pct = (ratios[ratios.len() - 1] - ratios[0]) * 100.0;
+    let detect = median_run(detection_latency_us, quick);
+    let recover = median_run(time_to_recover_us, quick);
+
+    let body = format!(
+        "{{\n    \"allreduce_512KiB_w4\": {{ \"infallible_ns\": {infallible:.0}, \
+         \"deadline_checked_ns\": {deadline_checked:.0}, \
+         \"failure_free_overhead_pct\": {overhead_pct:.2}, \
+         \"pair_ratio_spread_pct\": {spread_pct:.2}, \"threads\": {threads} }},\n    \
+         \"detection_latency_w2\": {{ \"issue_to_typed_error_us\": {detect:.1} }},\n    \
+         \"time_to_recover_w4_to_w3\": {{ \"detect_regroup_restore_us\": {recover:.1} }}\n  }}"
+    );
+
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_fault_tolerance.smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
+    };
+    update_sections(std::path::Path::new(path), &[("fault_tolerance", body)]);
+    eprintln!("wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_allreduce, bench_allgather_payload, bench_split, bench_overlap,
-              bench_dp_bucketed_backward, emit_collectives_json
+              bench_dp_bucketed_backward, bench_fault_tolerance,
+              emit_collectives_json, emit_fault_tolerance_json
 }
 criterion_main!(benches);

@@ -18,24 +18,59 @@
 //! results are bit-identical across ranks, across runs, and across the
 //! blocking/nonblocking flavors.
 
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use dchag_tensor::ops;
 use dchag_tensor::Tensor;
 
+use crate::fault::CommError;
 use crate::nonblocking::{self, CollKind, CommPrecision, CommRequest};
 use crate::thread_comm::CommCore;
 use crate::topology::Topology;
 use crate::traffic::{CollOp, TrafficLog};
 
+/// Shared blackboard for the survivor-side regroup barrier.
+///
+/// Survivors that detected a failure rendezvous here *outside* any poisoned
+/// core: each inserts its global rank into `arrived`; once every non-failed
+/// rank is present, whichever survivor holds the lock builds one fresh
+/// [`CommCore`] for the survivor set and publishes it as `built`. Departing
+/// survivors drain the build; the last one clears it so the board is ready
+/// for a future failure.
+#[derive(Default)]
+struct RegroupBoard {
+    /// Regroup rounds started so far (monotone; incremented at build time,
+    /// so late arrivals from an older round can never double-claim a build).
+    round: u64,
+    /// Global ranks waiting for the current round's build.
+    arrived: BTreeSet<usize>,
+    /// `(round, survivor global ranks, fresh core)` of the in-drain build.
+    built: Option<(u64, Vec<usize>, Arc<CommCore>)>,
+    /// Survivors that have taken the current build.
+    departed: usize,
+}
+
 /// State shared by every communicator of one world: the traffic log, the
-/// physical topology, and a registry of live cores (for panic poisoning).
+/// physical topology, a registry of live cores (for panic poisoning), and
+/// the failure/regroup bookkeeping.
 pub struct WorldShared {
     pub log: Arc<TrafficLog>,
     pub topo: Topology,
     cores: Mutex<Vec<Weak<CommCore>>>,
+    /// Global ranks known dead (marked by the launcher on panic, or by the
+    /// regroup deadline on no-show). Grows monotonically for the world's
+    /// lifetime — a declared-dead rank never rejoins.
+    failed: Mutex<BTreeSet<usize>>,
+    /// Bumped at every regroup; stamps [`CommError::PeerFailed`] so stale
+    /// detections from before a regroup are distinguishable.
+    epoch: AtomicU64,
+    board: Mutex<RegroupBoard>,
+    board_cv: Condvar,
 }
 
 impl WorldShared {
@@ -44,6 +79,10 @@ impl WorldShared {
             log: TrafficLog::new(),
             topo,
             cores: Mutex::new(Vec::new()),
+            failed: Mutex::new(BTreeSet::new()),
+            epoch: AtomicU64::new(0),
+            board: Mutex::new(RegroupBoard::default()),
+            board_cv: Condvar::new(),
         })
     }
 
@@ -51,12 +90,110 @@ impl WorldShared {
         self.cores.lock().push(Arc::downgrade(core));
     }
 
-    /// Poison every live core so blocked peers fail fast instead of hanging.
-    pub fn poison_all(&self) {
+    /// Poison every live core with `cause` so blocked peers fail fast
+    /// instead of hanging, and mark all their in-flight rounds aborted in
+    /// the traffic log (their partial chunk stamps must not skew α-β fits).
+    pub fn poison_all(&self, cause: CommError) {
         for core in self.cores.lock().iter() {
             if let Some(c) = core.upgrade() {
-                c.poison();
+                c.poison(cause);
+                c.engine().abort_inflight(&self.log);
             }
+        }
+    }
+
+    /// Record `rank` as dead and wake any regroup waiters so their survivor
+    /// set shrinks. Called by the launcher before poisoning.
+    pub fn mark_failed(&self, rank: usize) {
+        {
+            self.failed.lock().insert(rank);
+        }
+        // Taken *after* the failed lock is released (regroup nests them the
+        // other way around, board → failed).
+        let _g = self.board.lock();
+        self.board_cv.notify_all();
+    }
+
+    /// Global ranks known dead, ascending.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.failed.lock().iter().copied().collect()
+    }
+
+    /// Regroup epoch: number of elastic regroups performed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Survivor-side regroup barrier (see [`Communicator::regroup`]).
+    ///
+    /// Waits up to `deadline` for every not-yet-failed rank to arrive; ranks
+    /// still missing at the deadline are declared failed (which shrinks the
+    /// expected set — a lone survivor regroups to a world of one). Returns
+    /// the agreed survivor set (global ranks, ascending) and the fresh core,
+    /// or `Err` if this rank was itself declared failed by its peers.
+    pub(crate) fn regroup(
+        &self,
+        me: usize,
+        deadline: Duration,
+    ) -> Result<(Vec<usize>, Arc<CommCore>), CommError> {
+        let start = Instant::now();
+        let mut board = self.board.lock();
+        let target = board.round;
+        board.arrived.insert(me);
+        self.board_cv.notify_all();
+        loop {
+            if let Some((built_round, survivors, core)) = &board.built {
+                if *built_round == target {
+                    if !survivors.contains(&me) {
+                        // Peers hit their deadline and moved on without us.
+                        return Err(CommError::Poisoned);
+                    }
+                    let out = (survivors.clone(), core.clone());
+                    board.departed += 1;
+                    if board.departed == out.0.len() {
+                        board.built = None;
+                        board.departed = 0;
+                        self.board_cv.notify_all();
+                    }
+                    return Ok(out);
+                }
+                // A build from another round is still draining; wait it out.
+                let _ = self.board_cv.wait_for(&mut board, Duration::from_millis(1));
+                continue;
+            }
+            // No build yet for our round. Lock order: board → failed.
+            let failed = self.failed.lock().clone();
+            if failed.contains(&me) {
+                return Err(CommError::Poisoned);
+            }
+            let expected: Vec<usize> =
+                (0..self.topo.world_size).filter(|r| !failed.contains(r)).collect();
+            if expected.iter().all(|r| board.arrived.contains(r)) {
+                // Everyone live is here — whoever holds the lock builds (the
+                // mutex serializes; no designated-builder election needed).
+                let core = CommCore::new(expected.len());
+                self.register_core(&core);
+                for r in &expected {
+                    board.arrived.remove(r);
+                }
+                board.built = Some((board.round, expected, core));
+                board.round += 1;
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+                self.board_cv.notify_all();
+                continue;
+            }
+            let waited = start.elapsed();
+            if waited >= deadline {
+                // Declare the no-shows dead and re-evaluate immediately.
+                let mut f = self.failed.lock();
+                for r in expected.iter().copied().filter(|r| !board.arrived.contains(r)) {
+                    f.insert(r);
+                }
+                continue;
+            }
+            let _ = self
+                .board_cv
+                .wait_for(&mut board, (deadline - waited).min(Duration::from_millis(5)));
         }
     }
 }
@@ -169,6 +306,19 @@ impl Communicator {
         )
     }
 
+    fn try_issue(&self, kind: CollKind, t: &Tensor) -> Result<CommRequest, CommError> {
+        let seq = self.record(kind.op(), t.numel() * self.precision.elem_bytes());
+        nonblocking::try_issue(
+            &self.core,
+            self.rank,
+            kind,
+            self.precision,
+            t,
+            seq,
+            self.world.log.clone(),
+        )
+    }
+
     // ----- nonblocking collectives ------------------------------------------
 
     /// Issue an element-wise sum across the group; `wait` returns the full
@@ -243,6 +393,92 @@ impl Communicator {
     pub fn barrier(&self) {
         self.record(CollOp::Barrier, 0);
         let _ = self.core.exchange(self.rank, Box::new(()));
+    }
+
+    // ----- fallible collectives ---------------------------------------------
+    //
+    // Deadline-bounded, `Result`-returning flavors for callers that recover
+    // from peer failure (see `regroup`). `deadline: None` still fails fast
+    // on poison; `Some(d)` additionally detects hung peers.
+
+    /// Fallible blocking [`Communicator::all_reduce_sum`].
+    pub fn try_all_reduce_sum(
+        &self,
+        t: &Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Tensor, CommError> {
+        self.try_issue(CollKind::AllReduceSum, t)?.try_wait(deadline)
+    }
+
+    /// Fallible blocking [`Communicator::reduce_scatter_sum`].
+    pub fn try_reduce_scatter_sum(
+        &self,
+        t: &Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Tensor, CommError> {
+        assert!(
+            t.dims()[0].is_multiple_of(self.size()),
+            "reduce_scatter axis 0 ({}) not divisible by group size {}",
+            t.dims()[0],
+            self.size()
+        );
+        self.try_issue(CollKind::ReduceScatterSum, t)?.try_wait(deadline)
+    }
+
+    /// Fallible blocking [`Communicator::all_gather_cat`].
+    pub fn try_all_gather_cat(
+        &self,
+        t: &Tensor,
+        axis: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Tensor, CommError> {
+        self.try_issue(CollKind::AllGatherCat { axis }, t)?.try_wait(deadline)
+    }
+
+    /// Fallible, deadline-bounded [`Communicator::barrier`].
+    pub fn try_barrier(&self, deadline: Option<Duration>) -> Result<(), CommError> {
+        self.record(CollOp::Barrier, 0);
+        self.core
+            .try_exchange(self.rank, Box::new(()), deadline)
+            .map(|_| ())
+    }
+
+    // ----- elastic regroup --------------------------------------------------
+
+    /// After a detected peer failure, agree on the survivor set and rebuild
+    /// a world communicator over it.
+    ///
+    /// Call on the **world** handle, from every surviving rank, after
+    /// catching a [`CommError`] (sub-group handles from [`split`] share the
+    /// world's failure state but renumber differently — rebuild them from
+    /// the returned world handle). Waits up to `deadline` for peers; ranks
+    /// missing at the deadline are declared failed too, so cascading
+    /// failures converge instead of hanging. Returns a fresh communicator
+    /// with ranks renumbered in survivor order (old cores stay poisoned and
+    /// are abandoned), or `Err` if this rank was evicted by its peers'
+    /// deadline.
+    ///
+    /// [`split`]: Communicator::split
+    pub fn regroup(&self, deadline: Duration) -> Result<Communicator, CommError> {
+        let me = self.global_rank();
+        let before = self.world.topo.world_size - self.world.failed_ranks().len();
+        let (survivors, core) = self.world.regroup(me, deadline)?;
+        let rank = survivors
+            .iter()
+            .position(|&r| r == me)
+            .expect("regroup returned Ok without me in the survivor set");
+        self.world.log.record_fault(format!(
+            "regroup epoch {}: world {before} -> {} (global rank {me} is now rank {rank})",
+            self.world.epoch(),
+            survivors.len(),
+        ));
+        Ok(Communicator {
+            rank,
+            group_ranks: survivors,
+            core,
+            world: self.world.clone(),
+            precision: self.precision,
+        })
     }
 
     // ----- group management -------------------------------------------------

@@ -17,7 +17,14 @@
 //! What is intentionally different: transport. Payloads move by `Arc` clone
 //! through shared memory; the analytical α-β cost model in `dchag-perf` is
 //! responsible for timing, not this crate.
+//!
+//! Failure is a first-class citizen (see the crate README's "Failure
+//! model"): every blocking primitive has a fallible, deadline-bounded
+//! `try_*` twin surfacing a typed [`CommError`]; [`FaultPlan`] injects
+//! deterministic, schedule-addressable rank deaths for testing; and
+//! [`Communicator::regroup`] rebuilds a shrunk world over the survivors.
 
+pub mod fault;
 pub mod group;
 pub mod launch;
 pub mod nonblocking;
@@ -25,13 +32,18 @@ pub mod thread_comm;
 pub mod topology;
 pub mod traffic;
 
+pub use fault::{
+    comm_error_of, describe_payload, CommError, CommPanic, FaultPlan, FaultPoint, InjectedFault,
+};
 pub use group::{Communicator, WorldShared};
-pub use launch::{run_ranks, run_topology, RankCtx, WorldRun};
+pub use launch::{
+    run_ranks, run_ranks_faulty, run_topology, run_topology_faulty, FaultyRun, RankCtx, WorldRun,
+};
 pub use nonblocking::{
     comm_chunk_elems, set_comm_chunk_elems, CommPrecision, CommRequest, COMM_CHUNK_ELEMS,
 };
 pub use topology::Topology;
-pub use traffic::{ChunkEvent, CollEvent, CollOp, TrafficLog};
+pub use traffic::{ChunkEvent, CollEvent, CollOp, FaultEvent, TrafficLog};
 
 #[cfg(test)]
 mod tests {

@@ -33,6 +33,7 @@ use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -40,8 +41,14 @@ use dchag_tensor::dtype::bf16_round_trip;
 use dchag_tensor::ops;
 use dchag_tensor::{Shape, Tensor};
 
+use crate::fault::{self, CommError, FaultPoint};
 use crate::thread_comm::CommCore;
 use crate::traffic::{ChunkEvent, CollOp, TrafficLog};
+
+/// Unsuccessful condvar polls before a deadline-bounded wait parks (the
+/// spin half of spin→park: a peer that deposits within a few hundred
+/// nanoseconds is caught without a syscall).
+const WAIT_SPINS: u32 = 64;
 
 /// Elements per pipeline chunk (64 KiB of f32): small enough that a bucket
 /// splits into several overlappable stages, large enough that the per-chunk
@@ -235,6 +242,9 @@ pub(crate) struct Engine {
     state: Mutex<EngineState>,
     cv: Condvar,
     poisoned: AtomicBool,
+    /// First poison cause wins (set under the state lock): a wave of
+    /// secondary failures never overwrites the root attribution.
+    poison_cause: OnceLock<CommError>,
 }
 
 impl Engine {
@@ -246,21 +256,39 @@ impl Engine {
             }),
             cv: Condvar::new(),
             poisoned: AtomicBool::new(false),
+            poison_cause: OnceLock::new(),
         }
     }
 
     /// Wake all engine waiters so they fail fast instead of hanging.
-    pub(crate) fn poison(&self) {
+    pub(crate) fn poison(&self, cause: CommError) {
         let _g = self.state.lock();
+        let _ = self.poison_cause.set(cause);
         self.poisoned.store(true, Ordering::SeqCst);
         self.cv.notify_all();
     }
 
-    fn assert_live(&self) {
-        assert!(
-            !self.poisoned.load(Ordering::SeqCst),
-            "process group poisoned by a peer panic"
-        );
+    /// `Err(cause)` once the group is poisoned.
+    pub(crate) fn check_live(&self) -> Result<(), CommError> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            Err(self.poison_cause.get().copied().unwrap_or(CommError::Poisoned))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Mark every incomplete in-flight round aborted in the traffic log so
+    /// its partial chunk stamps can't skew byte totals or α-β samples.
+    /// Called after poisoning, when a peer is known dead.
+    pub(crate) fn abort_inflight(&self, log: &TrafficLog) {
+        let st = self.state.lock();
+        for entry in st.rounds.values() {
+            if !entry.shared.complete.load(Ordering::Acquire) {
+                if let Some(es) = entry.shared.stamps.lock().event_seq {
+                    log.mark_round_aborted(es);
+                }
+            }
+        }
     }
 
     /// Rounds currently tracked (in flight or not yet retired by every
@@ -284,9 +312,8 @@ pub struct CommRequest {
     retired: bool,
 }
 
-/// Deposit `t` as `rank`'s contribution to its next collective on this core
-/// and return the request handle. `event_seq` attributes chunk events to the
-/// logical traffic-log entry (recorded by group rank 0).
+/// Panicking wrapper over [`try_issue`] (poison surfaces as a typed
+/// [`crate::fault::CommPanic`] unwind).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn issue(
     core: &Arc<CommCore>,
@@ -297,10 +324,30 @@ pub(crate) fn issue(
     event_seq: Option<usize>,
     log: Arc<TrafficLog>,
 ) -> CommRequest {
+    try_issue(core, rank, kind, precision, t, event_seq, log)
+        .unwrap_or_else(|e| fault::comm_panic(e))
+}
+
+/// Deposit `t` as `rank`'s contribution to its next collective on this core
+/// and return the request handle. `event_seq` attributes chunk events to the
+/// logical traffic-log entry (recorded by group rank 0). Fails if the group
+/// is already poisoned; SPMD violations (kind/shape/precision mismatch)
+/// remain panics — they are program bugs, not runtime faults.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_issue(
+    core: &Arc<CommCore>,
+    rank: usize,
+    kind: CollKind,
+    precision: CommPrecision,
+    t: &Tensor,
+    event_seq: Option<usize>,
+    log: Arc<TrafficLog>,
+) -> Result<CommRequest, CommError> {
+    fault::probe_issue();
     let engine = core.engine();
     let group = core.size();
     let mut st = engine.state.lock();
-    engine.assert_live();
+    engine.check_live()?;
     let seq = st.next_seq[rank];
     st.next_seq[rank] += 1;
 
@@ -349,14 +396,14 @@ pub(crate) fn issue(
         engine.cv.notify_all();
     }
     drop(st);
-    CommRequest {
+    Ok(CommRequest {
         core: core.clone(),
         log,
         round,
         rank,
         seq,
         retired: false,
-    }
+    })
 }
 
 fn validate_contribution(kind: CollKind, group: usize, existing: &[Option<Tensor>], t: &Tensor) {
@@ -543,13 +590,20 @@ fn try_progress(core: &CommCore, log: &TrafficLog, max: usize) -> bool {
 impl CommRequest {
     /// Nonblocking completion check. Contributes a bounded amount of chunk
     /// work (one chunk) so polling callers still drive the pipeline.
+    /// Panics (typed [`crate::fault::CommPanic`]) if the group is poisoned;
+    /// use [`try_test`](CommRequest::try_test) for the fallible flavor.
     pub fn test(&self) -> bool {
+        self.try_test().unwrap_or_else(|e| fault::comm_panic(e))
+    }
+
+    /// Fallible [`test`](CommRequest::test): `Err` if the group is poisoned.
+    pub fn try_test(&self) -> Result<bool, CommError> {
         if self.round.complete.load(Ordering::Acquire) {
-            return true;
+            return Ok(true);
         }
-        self.core.engine().assert_live();
+        self.core.engine().check_live()?;
         try_progress(&self.core, &self.log, 1);
-        self.round.complete.load(Ordering::Acquire)
+        Ok(self.round.complete.load(Ordering::Acquire))
     }
 
     /// Drive chunk work without blocking and without consuming the request
@@ -583,13 +637,67 @@ impl CommRequest {
     ///
     /// While blocked, the caller claims and executes pipeline chunks for any
     /// runnable collective on the group — waiting ranks are the comm engine.
-    pub fn wait(mut self) -> Tensor {
+    /// On poison the wait panics with a typed [`crate::fault::CommPanic`];
+    /// use [`try_wait`](CommRequest::try_wait) to handle failure instead.
+    pub fn wait(self) -> Tensor {
+        self.try_wait(None).unwrap_or_else(|e| fault::comm_panic(e))
+    }
+
+    /// Record a detected failure on the traffic log and hand the cause back.
+    fn fail(&self, e: CommError) -> CommError {
+        self.log
+            .record_fault(format!("rank {} detected at collective #{}: {e}", self.rank, self.seq));
+        e
+    }
+
+    /// Fallible, deadline-bounded [`wait`](CommRequest::wait).
+    ///
+    /// `deadline: None` blocks until completion or poison (a dead peer is
+    /// still detected — the launcher poisons every group when a rank
+    /// unwinds). `Some(d)` additionally bounds the wait: a peer that is
+    /// hung rather than dead surfaces as [`CommError::Timeout`] after `d`.
+    /// The wait spins briefly, then parks on the engine condvar
+    /// (spin→park); parked waiters are woken by deposits, chunk
+    /// completions, and poison.
+    ///
+    /// On `Err` the request is consumed and its round bookkeeping retired —
+    /// the collective's result is unrecoverable (the caller's next move is
+    /// [`crate::Communicator::regroup`]).
+    pub fn try_wait(self, deadline: Option<Duration>) -> Result<Tensor, CommError> {
+        if let Some((rank, point)) = fault::probe_wait() {
+            // Injected `MidChunkClaim`: claim one pipeline chunk of the
+            // awaited round and die *without running it* — the round can
+            // then never complete by progress alone, so survivors must be
+            // freed by poison or deadline.
+            if matches!(point, FaultPoint::MidChunkClaim(_)) && self.round.frozen.get().is_some() {
+                self.round.next_chunk.fetch_add(1, Ordering::Relaxed);
+            }
+            fault::die(rank, point);
+        }
         let engine = self.core.engine();
+        let start = Instant::now();
+        let mut spins = 0u32;
+        let mut ticks = 0u32;
         loop {
             if self.round.complete.load(Ordering::Acquire) {
                 break;
             }
-            engine.assert_live();
+            if let Err(e) = engine.check_live() {
+                return Err(self.fail(e));
+            }
+            // Reading the clock every iteration would tax the failure-free
+            // hot path (the acceptance bar is ≤ 1% over the infallible
+            // wait), so throttle it; the parked branch below enforces the
+            // deadline exactly via `wait_for`.
+            if let Some(d) = deadline {
+                if ticks & 63 == 0 {
+                    let waited = start.elapsed();
+                    if waited >= d {
+                        return Err(self.fail(CommError::Timeout { waited }));
+                    }
+                }
+            }
+            ticks = ticks.wrapping_add(1);
             if try_progress(&self.core, &self.log, usize::MAX) {
                 continue;
             }
@@ -597,16 +705,37 @@ impl CommRequest {
             if self.round.complete.load(Ordering::Acquire) {
                 break;
             }
-            engine.assert_live();
+            if let Err(e) = engine.check_live() {
+                drop(st);
+                return Err(self.fail(e));
+            }
             let work_available = st.rounds.values().any(|e| e.shared.claimable());
-            if !work_available {
-                engine.cv.wait(&mut st);
+            if work_available {
+                continue;
+            }
+            if spins < WAIT_SPINS {
+                spins += 1;
+                drop(st);
+                std::hint::spin_loop();
+                continue;
+            }
+            match deadline {
+                None => engine.cv.wait(&mut st),
+                Some(d) => {
+                    let waited = start.elapsed();
+                    if waited >= d {
+                        drop(st);
+                        return Err(self.fail(CommError::Timeout { waited }));
+                    }
+                    let _ = engine.cv.wait_for(&mut st, d - waited);
+                }
             }
         }
-        let frozen = self.round.frozen.get().expect("complete implies frozen");
+        let mut this = self;
+        let frozen = this.round.frozen.get().expect("complete implies frozen");
         // SAFETY: completion observed with acquire ordering above.
         let out = unsafe { frozen.buf.read() };
-        let result = match self.round.kind {
+        let result = match this.round.kind {
             CollKind::AllReduceSum => frozen
                 .result
                 .get_or_init(|| {
@@ -615,12 +744,12 @@ impl CommRequest {
                 .clone(),
             CollKind::ReduceScatterSum => {
                 let dims = frozen.contribs[0].dims();
-                let k = dims[0] / self.round.group;
+                let k = dims[0] / this.round.group;
                 let row: usize = dims[1..].iter().product::<usize>().max(1);
                 let mut out_dims = dims.to_vec();
                 out_dims[0] = k;
                 Tensor::from_vec(
-                    out[self.rank * k * row..(self.rank + 1) * k * row].to_vec(),
+                    out[this.rank * k * row..(this.rank + 1) * k * row].to_vec(),
                     Shape::new(&out_dims),
                 )
             }
@@ -650,8 +779,8 @@ impl CommRequest {
                 })
                 .clone(),
         };
-        self.retire();
-        result
+        this.retire();
+        Ok(result)
     }
 }
 
@@ -990,6 +1119,58 @@ mod tests {
                 ctx.comm.iall_gather_cat(&t, 0).wait()
             }
         });
+    }
+
+    #[test]
+    fn fault_try_wait_times_out_on_missing_peer() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let timed_out = AtomicBool::new(false);
+        let run = run_ranks(2, |ctx| {
+            if ctx.comm.rank() == 0 {
+                let req = ctx.comm.iall_reduce_sum(&Tensor::ones([4]));
+                let err = req
+                    .try_wait(Some(Duration::from_millis(25)))
+                    .expect_err("peer never deposits before the deadline");
+                let ok = matches!(err, CommError::Timeout { waited } if waited >= Duration::from_millis(25));
+                timed_out.store(true, Ordering::SeqCst);
+                ok
+            } else {
+                // Deposit only after rank 0 has observably timed out, then
+                // match the abandoned round so the engine state drains.
+                while !timed_out.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let _ = ctx.comm.iall_reduce_sum(&Tensor::ones([4]));
+                true
+            }
+        });
+        assert!(run.outputs.iter().all(|&ok| ok));
+        // Detection is on the audit trail.
+        assert!(run
+            .traffic
+            .fault_events()
+            .iter()
+            .any(|f| f.cause.contains("timed out")));
+    }
+
+    #[test]
+    fn fault_try_wait_without_deadline_matches_wait_bitwise() {
+        let run = run_ranks(4, |ctx| {
+            let n = COMM_CHUNK_ELEMS + 11; // 2 chunks
+            let t = Tensor::from_vec(wire_payload(n, ctx.comm.rank() as u64 + 3), [n]);
+            let a = ctx.comm.iall_reduce_sum(&t).wait();
+            let b = ctx
+                .comm
+                .iall_reduce_sum(&t)
+                .try_wait(Some(Duration::from_secs(30)))
+                .expect("healthy group completes well inside the deadline");
+            let bits =
+                |x: &Tensor| x.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            (bits(&a), bits(&b))
+        });
+        for (a, b) in run.outputs {
+            assert_eq!(a, b, "fallible path must be bitwise identical to wait()");
+        }
     }
 
     #[test]

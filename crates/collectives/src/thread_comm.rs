@@ -11,9 +11,11 @@
 
 use std::any::Any;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::fault::{comm_panic, CommError};
 use crate::nonblocking::Engine;
 
 pub type Payload = Box<dyn Any + Send + Sync>;
@@ -25,6 +27,8 @@ struct State {
     generation: u64,
     result: Option<Arc<Vec<Payload>>>,
     poisoned: bool,
+    /// Root cause of the poison (first setter wins).
+    poison_cause: Option<CommError>,
 }
 
 /// Shared rendezvous state for one process group, plus the nonblocking
@@ -49,6 +53,7 @@ impl CommCore {
                 generation: 0,
                 result: None,
                 poisoned: false,
+                poison_cause: None,
             }),
             cv: Condvar::new(),
             engine: Engine::new(size),
@@ -65,23 +70,46 @@ impl CommCore {
         &self.engine
     }
 
-    /// Mark the group as broken (a peer panicked); wakes all waiters — both
+    /// Mark the group as broken (`cause` says why); wakes all waiters — both
     /// rendezvous blockers and in-flight [`crate::nonblocking::CommRequest`]
-    /// waiters — which then panic instead of deadlocking.
-    pub fn poison(&self) {
+    /// waiters — which then fail (typed panic or `Err`) instead of
+    /// deadlocking. The first cause wins; later poisons keep the original
+    /// root attribution.
+    pub fn poison(&self, cause: CommError) {
         let mut s = self.state.lock();
         s.poisoned = true;
+        s.poison_cause.get_or_insert(cause);
         self.cv.notify_all();
         drop(s);
-        self.engine.poison();
+        self.engine.poison(cause);
     }
 
     /// Deposit `payload` as `rank` and receive everyone's payloads, in rank
     /// order. Blocks until all `size` ranks of the group have arrived.
+    /// Panics with a typed [`crate::fault::CommPanic`] if the group is
+    /// poisoned; see [`try_exchange`](CommCore::try_exchange).
     pub fn exchange(&self, rank: usize, payload: Payload) -> Arc<Vec<Payload>> {
+        self.try_exchange(rank, payload, None)
+            .unwrap_or_else(|e| comm_panic(e))
+    }
+
+    /// Fallible, deadline-bounded [`exchange`](CommCore::exchange).
+    ///
+    /// On `Err(Timeout)` this rank's deposit is **rolled back**, so the
+    /// rendezvous round is left exactly as if the call never happened — a
+    /// retry (or a regrouped peer set on a fresh core) starts clean.
+    pub fn try_exchange(
+        &self,
+        rank: usize,
+        payload: Payload,
+        deadline: Option<Duration>,
+    ) -> Result<Arc<Vec<Payload>>, CommError> {
         assert!(rank < self.size, "rank {rank} out of group size {}", self.size);
+        let start = Instant::now();
         let mut s = self.state.lock();
-        assert!(!s.poisoned, "process group poisoned by a peer panic");
+        if s.poisoned {
+            return Err(s.poison_cause.unwrap_or(CommError::Poisoned));
+        }
         debug_assert!(s.slots[rank].is_none(), "rank {rank} double-arrival");
         s.slots[rank] = Some(payload);
         s.arrived += 1;
@@ -97,9 +125,22 @@ impl CommCore {
         } else {
             let gen = s.generation;
             while s.generation == gen && !s.poisoned {
-                self.cv.wait(&mut s);
+                match deadline {
+                    None => self.cv.wait(&mut s),
+                    Some(d) => {
+                        let waited = start.elapsed();
+                        if waited >= d {
+                            s.slots[rank] = None;
+                            s.arrived -= 1;
+                            return Err(CommError::Timeout { waited });
+                        }
+                        let _ = self.cv.wait_for(&mut s, d - waited);
+                    }
+                }
             }
-            assert!(!s.poisoned, "process group poisoned by a peer panic");
+            if s.poisoned {
+                return Err(s.poison_cause.unwrap_or(CommError::Poisoned));
+            }
         }
 
         let result = s.result.clone().expect("result published");
@@ -108,7 +149,7 @@ impl CommCore {
             s.result = None;
             s.departed = 0;
         }
-        result
+        Ok(result)
     }
 }
 
@@ -176,18 +217,50 @@ mod tests {
     }
 
     #[test]
-    fn poison_wakes_waiters() {
+    fn poison_wakes_waiters_with_typed_cause() {
         let core = CommCore::new(2);
         let c2 = core.clone();
         let waiter = thread::spawn(move || {
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 c2.exchange(0, Box::new(0u8));
             }));
-            r.is_err()
+            r.err().and_then(|e| crate::fault::comm_error_of(e.as_ref()))
         });
         // Give the waiter time to block, then poison.
         thread::sleep(std::time::Duration::from_millis(20));
-        core.poison();
-        assert!(waiter.join().unwrap(), "waiter should panic on poison");
+        core.poison(CommError::PeerFailed { rank: 1, epoch: 0 });
+        assert_eq!(
+            waiter.join().unwrap(),
+            Some(CommError::PeerFailed { rank: 1, epoch: 0 }),
+            "waiter's panic payload must carry the typed cause"
+        );
+    }
+
+    #[test]
+    fn fault_first_poison_cause_wins() {
+        let core = CommCore::new(2);
+        core.poison(CommError::PeerFailed { rank: 0, epoch: 3 });
+        core.poison(CommError::Poisoned);
+        let err = core.try_exchange(1, Box::new(()), None).unwrap_err();
+        assert_eq!(err, CommError::PeerFailed { rank: 0, epoch: 3 });
+    }
+
+    #[test]
+    fn fault_try_exchange_timeout_rolls_back_and_retries_clean() {
+        let core = CommCore::new(2);
+        // Nobody else arrives: the deposit must time out and roll back.
+        let err = core
+            .try_exchange(0, Box::new(7u64), Some(Duration::from_millis(10)))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Timeout { waited } if waited >= Duration::from_millis(10)));
+        // The rolled-back slot leaves the round clean: a full exchange on the
+        // same core now succeeds from scratch on both ranks.
+        let c2 = core.clone();
+        let peer = thread::spawn(move || {
+            *c2.exchange(1, Box::new(20u64))[0].downcast_ref::<u64>().unwrap()
+        });
+        let out = core.exchange(0, Box::new(10u64));
+        assert_eq!(*out[1].downcast_ref::<u64>().unwrap(), 20);
+        assert_eq!(peer.join().unwrap(), 10);
     }
 }

@@ -9,6 +9,7 @@
 //! in the backward pass" — is asserted in tests by diffing the log around
 //! the backward call.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -83,10 +84,24 @@ pub struct ChunkEvent {
     pub done_us: f64,
 }
 
+/// One detected failure / recovery action (detection, regroup, restore) —
+/// the fault-tolerance audit trail, timestamped on the traffic clock.
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    pub cause: String,
+    pub at_us: f64,
+}
+
 /// Shared, thread-safe event log for one world.
 pub struct TrafficLog {
     events: Mutex<Vec<CollEvent>>,
     chunk_events: Mutex<Vec<ChunkEvent>>,
+    /// `coll_seq`s of rounds that died mid-flight. Their chunk events stay
+    /// visible (diagnostics) but never count toward `bytes_on_wire`, and
+    /// the α-β fitter skips them — a half-run round's "duration" measures
+    /// the failure, not the fabric.
+    aborted: Mutex<BTreeSet<usize>>,
+    faults: Mutex<Vec<FaultEvent>>,
     seq: AtomicUsize,
     wire_bytes: AtomicUsize,
     epoch: Instant,
@@ -97,6 +112,8 @@ impl Default for TrafficLog {
         TrafficLog {
             events: Mutex::new(Vec::new()),
             chunk_events: Mutex::new(Vec::new()),
+            aborted: Mutex::new(BTreeSet::new()),
+            faults: Mutex::new(Vec::new()),
             seq: AtomicUsize::new(0),
             wire_bytes: AtomicUsize::new(0),
             epoch: Instant::now(),
@@ -130,10 +147,59 @@ impl TrafficLog {
     }
 
     /// Record one completed pipeline chunk (called by the worker that
-    /// finished it; accumulates the wire-byte counter).
+    /// finished it; accumulates the wire-byte counter — unless the round
+    /// was already marked aborted, in which case the event is kept for
+    /// diagnostics but excluded from the byte totals).
     pub fn record_chunk(&self, ev: ChunkEvent) {
-        self.wire_bytes.fetch_add(ev.bytes_on_wire, Ordering::Relaxed);
+        // The aborted lock is held across both the counter update and the
+        // event push so `mark_round_aborted`'s subtract-already-counted
+        // scan can never miss a concurrently-recorded chunk.
+        let aborted = self.aborted.lock();
+        if !aborted.contains(&ev.coll_seq) {
+            self.wire_bytes.fetch_add(ev.bytes_on_wire, Ordering::Relaxed);
+        }
         self.chunk_events.lock().push(ev);
+        drop(aborted);
+    }
+
+    /// Mark a collective's round aborted (a participant died before the
+    /// round completed). Chunks already counted are subtracted back out of
+    /// `bytes_on_wire`; chunks recorded later are never counted.
+    pub fn mark_round_aborted(&self, coll_seq: usize) {
+        let mut aborted = self.aborted.lock();
+        if aborted.insert(coll_seq) {
+            let already: usize = self
+                .chunk_events
+                .lock()
+                .iter()
+                .filter(|e| e.coll_seq == coll_seq)
+                .map(|e| e.bytes_on_wire)
+                .sum();
+            if already > 0 {
+                self.wire_bytes.fetch_sub(already, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Whether `coll_seq`'s round was aborted (α-β fitters skip these).
+    pub fn is_round_aborted(&self, coll_seq: usize) -> bool {
+        self.aborted.lock().contains(&coll_seq)
+    }
+
+    /// `coll_seq`s of every aborted round so far.
+    pub fn aborted_rounds(&self) -> Vec<usize> {
+        self.aborted.lock().iter().copied().collect()
+    }
+
+    /// Record a detected failure or recovery action.
+    pub fn record_fault(&self, cause: String) {
+        let at_us = self.now_us();
+        self.faults.lock().push(FaultEvent { cause, at_us });
+    }
+
+    /// Snapshot of the fault/recovery audit trail.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.faults.lock().clone()
     }
 
     /// Snapshot of all events so far.
@@ -184,6 +250,8 @@ impl TrafficLog {
     pub fn clear(&self) {
         self.events.lock().clear();
         self.chunk_events.lock().clear();
+        self.aborted.lock().clear();
+        self.faults.lock().clear();
         self.wire_bytes.store(0, Ordering::Relaxed);
     }
 }
@@ -256,5 +324,50 @@ mod tests {
         log.clear();
         assert_eq!(log.bytes_on_wire(), 0);
         assert!(log.chunk_events().is_empty());
+    }
+
+    #[test]
+    fn fault_aborted_round_bytes_are_excluded_both_ways() {
+        let log = TrafficLog::new();
+        let chunk = |seq: usize, c: usize| ChunkEvent {
+            op: CollOp::AllReduce,
+            coll_seq: seq,
+            chunk: c,
+            bytes_on_wire: 100,
+            issued_us: 0.0,
+            ready_us: 1.0,
+            done_us: 2.0,
+        };
+        let healthy = log.record(CollOp::AllReduce, 4096, &[0, 1]);
+        let doomed = log.record(CollOp::AllReduce, 4096, &[0, 1]);
+        log.record_chunk(chunk(healthy, 0));
+        // One chunk lands before the abort, one after: both must be excluded.
+        log.record_chunk(chunk(doomed, 0));
+        log.mark_round_aborted(doomed);
+        log.record_chunk(chunk(doomed, 1));
+        assert_eq!(log.bytes_on_wire(), 100, "only the healthy round counts");
+        assert!(log.is_round_aborted(doomed));
+        assert!(!log.is_round_aborted(healthy));
+        assert_eq!(log.aborted_rounds(), vec![doomed]);
+        // Events are kept for diagnostics; marking twice is idempotent.
+        assert_eq!(log.chunk_events().len(), 3);
+        log.mark_round_aborted(doomed);
+        assert_eq!(log.bytes_on_wire(), 100);
+        log.clear();
+        assert!(log.aborted_rounds().is_empty());
+    }
+
+    #[test]
+    fn fault_events_are_timestamped_in_order() {
+        let log = TrafficLog::new();
+        assert!(log.fault_events().is_empty());
+        log.record_fault("peer rank 1 failed".into());
+        log.record_fault("regroup: 4 -> 3".into());
+        let ev = log.fault_events();
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].cause.contains("rank 1"));
+        assert!(ev[0].at_us <= ev[1].at_us);
+        log.clear();
+        assert!(log.fault_events().is_empty());
     }
 }

@@ -25,4 +25,7 @@ pub mod train;
 pub use dchag::DChagEncoder;
 pub use models::{build_climax, build_mae, DChagClimax, DChagMae};
 pub use planner::{Plan, Planner};
-pub use train::{train_step, train_step_accum, train_step_fsdp, TrainConfig};
+pub use train::{
+    resilient_train_loop, train_step, train_step_accum, train_step_fsdp, ResilienceConfig,
+    ResilientReport, TrainConfig,
+};

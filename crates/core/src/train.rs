@@ -1,9 +1,15 @@
 //! Training-step orchestration: local, data-parallel, and FSDP variants
-//! (the hybrid compositions of paper §3.4).
+//! (the hybrid compositions of paper §3.4), plus the fault-tolerant
+//! [`resilient_train_loop`] driver (checkpoint → detect → regroup →
+//! restore → continue).
 
+use std::time::{Duration, Instant};
+
+use dchag_collectives::{comm_error_of, CommError, Communicator};
 use dchag_model::{clip_global_norm, AdamW};
 use dchag_parallel::dp::DataParallel;
 use dchag_parallel::fsdp::{FsdpBinder, FsdpParams};
+use dchag_tensor::checkpoint::{load_store, save_store};
 use dchag_tensor::prelude::*;
 use dchag_tensor::Tensor;
 
@@ -145,6 +151,156 @@ where
     loss_sum * inv
 }
 
+/// Knobs of the [`resilient_train_loop`] recovery driver.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// Snapshot the parameter store every `checkpoint_every` completed
+    /// steps (an in-memory per-rank checkpoint; step 0 is always saved).
+    pub checkpoint_every: usize,
+    /// How many failed regroup attempts to tolerate before giving up.
+    pub max_retries: usize,
+    /// Base delay between regroup retries (doubles per attempt).
+    pub backoff: Duration,
+    /// Deadline handed to [`Communicator::regroup`]: peers missing past it
+    /// are declared failed too.
+    pub regroup_deadline: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint_every: 10,
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+            regroup_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What a survivor's [`resilient_train_loop`] can report back.
+pub struct ResilientReport {
+    /// Per-step losses of the steps that *count* — steps rolled back by a
+    /// recovery are truncated and replaced by their replay.
+    pub losses: Vec<f32>,
+    /// Completed detect→regroup→restore cycles.
+    pub recoveries: usize,
+    /// Wall time of each recovery cycle, µs.
+    pub recovery_us: Vec<f64>,
+    /// `(step, checkpoint bytes)` the most recent recovery restored from
+    /// (`None` if the run never failed). A fresh run launched with the
+    /// survivor world from exactly this checkpoint must reproduce
+    /// `losses[step..]` bitwise — the acceptance test of the regroup path.
+    pub restored_from: Option<(usize, Vec<u8>)>,
+    /// World size at exit (shrinks by one per dead rank).
+    pub final_world: usize,
+    /// The communicator the run finished on (post-regroup survivors use
+    /// this for anything after training).
+    pub comm: Communicator,
+    /// Final parameter store.
+    pub store: ParamStore,
+}
+
+/// Fault-tolerant training driver: runs `steps` optimizer steps of
+/// `step_fn`, checkpointing every [`ResilienceConfig::checkpoint_every`]
+/// steps, and on a detected peer failure regroups the survivors, rebuilds
+/// model state over the shrunk world via `build`, restores the last
+/// checkpoint, and replays from there.
+///
+/// `build(comm)` constructs the rank's parameter store and whatever model /
+/// optimizer / DP state `step_fn` needs (`M`); it is re-invoked after every
+/// regroup, so optimizer moments restart fresh at the restored step — the
+/// same convention as checkpoint-resume (params-only checkpoints). For the
+/// replay to be bitwise faithful, `build` and `step_fn` must depend only on
+/// `comm` and the step index, not on ambient state.
+///
+/// Failure semantics:
+/// * A step that unwinds with a typed comm cause ([`comm_error_of`]) starts
+///   a recovery: regroup under [`ResilienceConfig::regroup_deadline`] with
+///   [`ResilienceConfig::max_retries`] exponential-backoff attempts, then
+///   restore and replay. `Err` is returned only when this rank was itself
+///   evicted (its peers' deadline expired first) or the retry budget ran
+///   out.
+/// * Any other panic — a genuine bug in model code — is re-raised
+///   unchanged.
+pub fn resilient_train_loop<M, B, F>(
+    world: &Communicator,
+    rcfg: &ResilienceConfig,
+    steps: usize,
+    mut build: B,
+    mut step_fn: F,
+) -> Result<ResilientReport, CommError>
+where
+    B: FnMut(&Communicator) -> (ParamStore, M),
+    F: FnMut(&mut ParamStore, &mut M, &Communicator, usize) -> f32,
+{
+    assert!(rcfg.checkpoint_every > 0, "checkpoint_every must be positive");
+    let mut comm = world.clone();
+    let (mut store, mut model) = build(&comm);
+    let mut checkpoint = Vec::new();
+    save_store(&store, &mut checkpoint).expect("in-memory checkpoint");
+    let mut checkpoint_step = 0usize;
+    let mut losses: Vec<f32> = Vec::with_capacity(steps);
+    let mut recoveries = 0usize;
+    let mut recovery_us: Vec<f64> = Vec::new();
+    let mut restored_from: Option<(usize, Vec<u8>)> = None;
+    let mut step = 0usize;
+    while step < steps {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            step_fn(&mut store, &mut model, &comm, step)
+        }));
+        match out {
+            Ok(loss) => {
+                losses.push(loss);
+                step += 1;
+                if step.is_multiple_of(rcfg.checkpoint_every) {
+                    checkpoint.clear();
+                    save_store(&store, &mut checkpoint).expect("in-memory checkpoint");
+                    checkpoint_step = step;
+                }
+            }
+            Err(payload) => {
+                if comm_error_of(payload.as_ref()).is_none() {
+                    // Not a comm failure: a real bug must stay loud.
+                    std::panic::resume_unwind(payload);
+                }
+                let t0 = Instant::now();
+                let mut attempt = 0u32;
+                comm = loop {
+                    match comm.regroup(rcfg.regroup_deadline) {
+                        Ok(c) => break c,
+                        Err(e) => {
+                            attempt += 1;
+                            if attempt as usize > rcfg.max_retries {
+                                return Err(e);
+                            }
+                            std::thread::sleep(rcfg.backoff * 2u32.pow(attempt - 1));
+                        }
+                    }
+                };
+                // Survivor world agreed: rebuild, restore, roll back, replay.
+                let (s, m) = build(&comm);
+                (store, model) = (s, m);
+                load_store(&mut store, &mut checkpoint.as_slice())
+                    .expect("checkpoint restores into rebuilt store");
+                losses.truncate(checkpoint_step);
+                step = checkpoint_step;
+                recoveries += 1;
+                recovery_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                restored_from = Some((checkpoint_step, checkpoint.clone()));
+            }
+        }
+    }
+    Ok(ResilientReport {
+        losses,
+        recoveries,
+        recovery_us,
+        restored_from,
+        final_world: comm.size(),
+        comm,
+        store,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +388,61 @@ mod tests {
 
         for ((_, _, a), (_, _, b)) in s1.iter().zip(s2.iter()) {
             assert!(a.max_abs_diff(b) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fault_resilient_loop_failure_free_matches_plain_loop() {
+        // With no failures injected, the driver is a transparent wrapper:
+        // same losses, same parameters, zero recoveries.
+        let mut drng = Rng::new(9);
+        let data: Vec<Tensor> = (0..2).map(|_| Tensor::randn([4, 4], 1.0, &mut drng)).collect();
+        let run = run_ranks(2, |ctx| {
+            let forward = |lin: &Linear, bind: &LocalBinder, x: &Tensor| {
+                let xv = bind.tape().leaf(x.clone());
+                let y = lin.forward(bind, &xv);
+                bind.tape().mean_all(&bind.tape().mul(&y, &y))
+            };
+            let (plain_losses, plain_params) = {
+                let mut store = ParamStore::new();
+                let lin = model(&mut store);
+                let dp = DataParallel::new(ctx.comm.clone());
+                let mut opt = AdamW::new(0.05);
+                let mut losses = Vec::new();
+                for _ in 0..4 {
+                    let x = data[ctx.comm.rank()].clone();
+                    losses.push(train_step(&mut store, &mut opt, 10.0, Some(&dp), |bind| {
+                        forward(&lin, bind, &x)
+                    }));
+                }
+                let params: Vec<f32> = store.iter().flat_map(|(_, _, v)| v.to_vec()).collect();
+                (losses, params)
+            };
+            let rcfg = ResilienceConfig { checkpoint_every: 2, ..Default::default() };
+            let report = resilient_train_loop(
+                &ctx.comm,
+                &rcfg,
+                4,
+                |comm| {
+                    let mut store = ParamStore::new();
+                    let lin = model(&mut store);
+                    (store, (lin, DataParallel::new(comm.clone()), AdamW::new(0.05)))
+                },
+                |store, (lin, dp, opt), comm, _step| {
+                    let x = data[comm.rank()].clone();
+                    train_step(store, opt, 10.0, Some(&*dp), |bind| forward(lin, bind, &x))
+                },
+            )
+            .expect("failure-free run cannot be evicted");
+            assert_eq!(report.recoveries, 0);
+            assert!(report.restored_from.is_none());
+            assert_eq!(report.final_world, 2);
+            let params: Vec<f32> =
+                report.store.iter().flat_map(|(_, _, v)| v.to_vec()).collect();
+            (plain_losses == report.losses, plain_params == params)
+        });
+        for (losses_eq, params_eq) in run.outputs {
+            assert!(losses_eq && params_eq, "wrapper must be transparent");
         }
     }
 

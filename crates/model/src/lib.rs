@@ -29,7 +29,7 @@ pub use climax::{latitude_rmse, ClimaxModel};
 pub use config::{ModelConfig, TreeConfig, UnitKind};
 pub use embeddings::{latitude_weights, ChannelEmbed, MetaToken, PosEmbed};
 pub use encoder::FmEncoder;
-pub use hierarchy::{HierarchicalAggregator, TreePlan};
+pub use hierarchy::{DistHierarchicalAggregator, HierarchicalAggregator, TreePlan};
 pub use layers::{LayerNorm, Linear, Mlp};
 pub use mae::{MaeModel, PatchMask};
 pub use optim::{clip_global_norm, AdamW};

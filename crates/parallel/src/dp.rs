@@ -146,6 +146,12 @@ pub fn measured_alpha_beta(log: &dchag_collectives::TrafficLog) -> Option<(f64, 
         if e.coll_seq == usize::MAX {
             continue;
         }
+        // Rounds aborted by a peer failure have partial chunk sets whose
+        // "wall time" spans the death, not a transfer — they would bias α
+        // arbitrarily high. The log marks them; the fit drops them.
+        if log.is_round_aborted(e.coll_seq) {
+            continue;
+        }
         let r = rounds.entry(e.coll_seq).or_insert((0.0, e.ready_us, e.done_us));
         r.0 += e.bytes_on_wire as f64;
         r.2 = r.2.max(e.done_us);
@@ -405,6 +411,41 @@ mod tests {
         assert!(apply_measured_comm_sizing(&log, 30_000_000, 1).is_none());
         assert!(apply_measured_comm_sizing(&log, 0, 4).is_none());
         dchag_collectives::set_comm_chunk_elems(prev);
+    }
+
+    #[test]
+    fn fault_aborted_rounds_do_not_skew_alpha_beta_fit() {
+        // Same synthetic exact-model log as above, plus one wildly skewed
+        // round (tiny payload, huge wall time — the shape a peer death
+        // leaves behind). Aborting it must restore the clean fit.
+        let log = dchag_collectives::TrafficLog::new();
+        let (alpha, bw) = (10e-6, 20e9);
+        for (i, &bytes) in [65536usize, 65536, 65536, 65536, 16384, 32768].iter().enumerate() {
+            log.record_chunk(ChunkEvent {
+                op: CollOp::AllReduce,
+                coll_seq: i,
+                chunk: 0,
+                bytes_on_wire: bytes,
+                issued_us: 0.0,
+                ready_us: 0.0,
+                done_us: (alpha + bytes as f64 / bw) * 1e6,
+            });
+        }
+        let clean = measured_alpha_beta(&log).expect("identifiable");
+        log.record_chunk(ChunkEvent {
+            op: CollOp::AllReduce,
+            coll_seq: 6,
+            chunk: 0,
+            bytes_on_wire: 1024,
+            issued_us: 0.0,
+            ready_us: 0.0,
+            done_us: 5e6, // five "seconds" of wall: a deadline, not a transfer
+        });
+        // Sanity: the poisoned sample really perturbs the fit (here it
+        // flips the slope negative, which the fitter rejects outright).
+        assert_ne!(measured_alpha_beta(&log), Some(clean));
+        log.mark_round_aborted(6);
+        assert_eq!(measured_alpha_beta(&log), Some(clean), "aborted round dropped from fit");
     }
 
     #[test]

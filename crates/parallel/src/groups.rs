@@ -58,6 +58,32 @@ impl HybridGroups {
     }
 }
 
+/// Refit a `dp × fsdp × tp` grid to a shrunk world after an elastic regroup.
+///
+/// Keeps each axis as large as possible subject to its pre-failure size
+/// (TP first — it carries the chattiest collectives and must stay
+/// intra-node-sized — then FSDP; DP absorbs the remainder, since data
+/// parallelism tolerates any replica count). Every returned axis divides
+/// the world exactly, so [`HybridGroups::build`] accepts the result; a
+/// prime survivor count degenerates to pure DP (e.g. `w=3` with any
+/// preference → `(1, 1, 3)`).
+///
+/// Returns `(tp_size, fsdp_size, dp_size)`.
+pub fn refit_grid(
+    world: usize,
+    tp_size: usize,
+    fsdp_size: usize,
+    dp_size: usize,
+) -> (usize, usize, usize) {
+    assert!(world > 0 && tp_size > 0 && fsdp_size > 0 && dp_size > 0);
+    let largest_div_leq =
+        |n: usize, cap: usize| (1..=cap.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1);
+    let tp = largest_div_leq(world, tp_size);
+    let rem = world / tp;
+    let fsdp = largest_div_leq(rem, fsdp_size);
+    (tp, fsdp, rem / fsdp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +147,34 @@ mod tests {
         run_ranks(4, |ctx| {
             let _ = HybridGroups::build(&ctx.comm, 2, 2, 2);
         });
+    }
+
+    #[test]
+    fn fault_refit_grid_preserves_axes_where_divisible() {
+        // Unchanged world: identity.
+        assert_eq!(refit_grid(8, 2, 2, 2), (2, 2, 2));
+        // 8 -> 6 survivors with (2,2,2) preference: TP keeps 2, FSDP can't
+        // divide 3 so collapses, DP absorbs.
+        assert_eq!(refit_grid(6, 2, 2, 2), (2, 1, 3));
+        // Prime survivor count degenerates to pure DP.
+        assert_eq!(refit_grid(3, 2, 2, 2), (1, 1, 3));
+        assert_eq!(refit_grid(7, 4, 2, 1), (1, 1, 7));
+        // TP is preferred over FSDP when both could claim the factor.
+        assert_eq!(refit_grid(4, 4, 2, 1), (4, 1, 1));
+        // Product always reconstructs the world (build() accepts it).
+        for w in 1..=16usize {
+            let (t, f, d) = refit_grid(w, 4, 2, 2);
+            assert_eq!(t * f * d, w, "w={w}");
+        }
+        // A refit grid actually builds and reduces over survivors.
+        let run = run_ranks(6, |ctx| {
+            let (t, f, d) = refit_grid(ctx.comm.size(), 2, 2, 2);
+            let g = HybridGroups::build(&ctx.comm, t, f, d);
+            g.dp.all_reduce_sum(&Tensor::ones([1])).item()
+        });
+        for s in run.outputs {
+            assert_eq!(s, 3.0, "dp groups of size 3");
+        }
     }
 
     #[test]

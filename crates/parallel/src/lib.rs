@@ -31,7 +31,7 @@ pub use dp::{
     measured_alpha_beta, DataParallel,
 };
 pub use fsdp::{FsdpBinder, FsdpParams};
-pub use groups::{GridCoord, HybridGroups};
+pub use groups::{refit_grid, GridCoord, HybridGroups};
 pub use sp::{gather_sequence, scatter_sequence, SpBlock, SpGradSync, SpViT};
 pub use tp::{
     ColumnParallelLinear, RowParallelLinear, TpAttention, TpBlock, TpCrossAttnAggregator, TpMlp,

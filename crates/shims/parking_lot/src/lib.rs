@@ -81,12 +81,45 @@ impl Condvar {
         }
     }
 
+    /// Blocks until notified or `timeout` elapses; returns whether the wait
+    /// timed out (parking_lot's `WaitTimeoutResult` surface).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // SAFETY: same guard-swap as `wait`; `wait_timeout` recovers
+        // poisoned guards, so the slot always holds exactly one guard.
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (reacquired, result) = match self.0.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r)
+                }
+            };
+            std::ptr::write(&mut guard.0, reacquired);
+            WaitTimeoutResult(result.timed_out())
+        }
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -120,6 +153,34 @@ mod tests {
             cv.notify_all();
         }
         assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut done = lock.lock();
+            while !*done {
+                let r = cv.wait_for(&mut done, std::time::Duration::from_secs(10));
+                assert!(!r.timed_out(), "notify must win the race");
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
     }
 
     #[test]

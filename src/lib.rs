@@ -28,8 +28,14 @@ pub use dchag_tensor as tensor;
 
 /// The most commonly used types across the workspace.
 pub mod prelude {
-    pub use dchag_collectives::{run_ranks, run_topology, RankCtx, Topology};
-    pub use dchag_core::{build_climax, build_mae, DChagEncoder, Plan, Planner};
+    pub use dchag_collectives::{
+        comm_error_of, run_ranks, run_ranks_faulty, run_topology, run_topology_faulty, CommError,
+        Communicator, FaultPlan, FaultPoint, RankCtx, Topology,
+    };
+    pub use dchag_core::{
+        build_climax, build_mae, resilient_train_loop, DChagEncoder, Plan, Planner,
+        ResilienceConfig,
+    };
     pub use dchag_model::{
         ClimaxModel, MaeModel, ModelConfig, PatchMask, TreeConfig, UnitKind,
     };
