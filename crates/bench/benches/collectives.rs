@@ -671,11 +671,144 @@ fn emit_fault_tolerance_json(_c: &mut Criterion) {
     eprintln!("wrote {path}");
 }
 
+// ---------------------------------------------------------------------------
+// Transport: thread vs real loopback TCP, reconnect healing, and the α-β
+// fit over actual sockets.
+// ---------------------------------------------------------------------------
+
+use dchag_collectives::{
+    run_tcp_ranks, run_tcp_ranks_faulty, run_transport_ranks, TcpConfig, Transport,
+    TransportFault, TransportFaultPlan,
+};
+
+const TRANSPORT_ELEMS: usize = 64 * 1024; // 256 KiB payload
+const TRANSPORT_ROUNDS: usize = 8;
+
+/// Wall clock of `TRANSPORT_ROUNDS` blocking all-reduces over the given
+/// transport (slowest rank, bring-up excluded by the leading barrier).
+fn transport_allreduce_rounds(transport: &Transport, world: usize) -> f64 {
+    let run = run_transport_ranks(transport, world, |ctx| {
+        let t = Tensor::full([TRANSPORT_ELEMS], (ctx.comm.rank() + 1) as f32);
+        let mut sink = 0.0f32;
+        ctx.comm.barrier();
+        let t0 = std::time::Instant::now();
+        for _ in 0..TRANSPORT_ROUNDS {
+            sink += ctx.comm.all_reduce_sum(&t).at(0);
+        }
+        ctx.comm.barrier();
+        black_box(sink);
+        t0.elapsed().as_secs_f64() * 1e9
+    });
+    run.outputs.iter().map(|o| *o.as_ref().expect("rank ok")).fold(0.0f64, f64::max)
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    for (name, tr) in
+        [("thread", Transport::Thread), ("tcp_loopback", Transport::Tcp(TcpConfig::default()))]
+    {
+        g.bench_with_input(BenchmarkId::new("allreduce_256KiB_w2", name), &tr, |bench, tr| {
+            bench.iter(|| black_box(transport_allreduce_rounds(tr, 2)));
+        });
+    }
+    g.finish();
+}
+
+/// One severed-then-healed 2-rank run: wall clock of six pipelined rounds
+/// across the reconnect, plus the victim-side transport event counts.
+fn sever_heal_stats() -> (f64, usize, usize) {
+    let plan = TransportFaultPlan::for_rank(1, TransportFault::SeverOnce(2));
+    let run = run_tcp_ranks_faulty(2, TcpConfig::default(), &plan, |ctx| {
+        let t = Tensor::full([4096], (ctx.comm.rank() + 1) as f32);
+        ctx.comm.barrier();
+        let t0 = std::time::Instant::now();
+        for _ in 0..6 {
+            let _ = ctx.comm.iall_reduce_sum(&t).wait();
+        }
+        ctx.comm.barrier();
+        t0.elapsed().as_secs_f64() * 1e6
+    });
+    let wall = run.outputs.iter().map(|o| *o.as_ref().expect("heal, not kill")).fold(0.0, f64::max);
+    (wall, run.traffic[1].reconnect_attempts(), run.traffic[1].retransmitted_frames())
+}
+
+/// Fit α-β from a per-process TCP traffic log — the production shape of
+/// `measured_alpha_beta` (each endpoint fits what its own socket saw).
+fn tcp_alpha_beta() -> Option<(f64, f64)> {
+    let run = run_tcp_ranks(2, TcpConfig::default(), |ctx| {
+        for round in 0..10 {
+            let n = dchag_collectives::COMM_CHUNK_ELEMS * (1 + 7 * (round % 2));
+            let _ = ctx.comm.iall_reduce_sum(&Tensor::ones([n])).wait();
+        }
+        ctx.comm.barrier();
+        dchag_parallel::measured_alpha_beta(ctx.comm.traffic().as_ref())
+    });
+    run.outputs[0].as_ref().ok().copied().flatten()
+}
+
+/// Thread-vs-TCP bitwise parity verdict on a mixed collective workload.
+fn transport_parity(world: usize) -> bool {
+    let wl = |ctx: RankCtx| {
+        let t = Tensor::full([1024], (ctx.comm.rank() + 1) as f32);
+        let mut bits: Vec<u32> =
+            ctx.comm.all_reduce_sum(&t).to_vec().iter().map(|x| x.to_bits()).collect();
+        bits.extend(ctx.comm.iall_reduce_sum(&t).wait().to_vec().iter().map(|x| x.to_bits()));
+        ctx.comm.barrier();
+        bits
+    };
+    let a = run_transport_ranks(&Transport::Thread, world, wl);
+    let b = run_transport_ranks(&Transport::Tcp(TcpConfig::default()), world, wl);
+    (0..world).all(|r| {
+        a.outputs[r].as_ref().ok().is_some() && a.outputs[r].as_ref().ok() == b.outputs[r].as_ref().ok()
+    })
+}
+
+/// Refresh the `transport` section of `BENCH_kernels.json`: loopback-TCP
+/// vs thread all-reduce wall clocks, the cost and event counts of one
+/// sever-and-heal cycle, the α-β fit over real sockets, and the
+/// cross-transport bitwise-parity verdicts.
+fn emit_transport_json(_c: &mut Criterion) {
+    if !emitter_enabled("emit_transport_json") {
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--test");
+    let thread_ns = median_run(|| transport_allreduce_rounds(&Transport::Thread, 2), quick);
+    let tcp_ns =
+        median_run(|| transport_allreduce_rounds(&Transport::Tcp(TcpConfig::default()), 2), quick);
+    let (heal_us, reconnects, retransmits) = sever_heal_stats();
+    // Timer noise can make a single run's fit unidentifiable (a negative
+    // α is rejected); a few attempts make that rare. -1 sentinels keep
+    // the JSON valid when the host never identifies (NaN is not JSON).
+    let fit = (0..5).find_map(|_| tcp_alpha_beta());
+    let (alpha_us, bw) = fit.map_or((-1.0, -1.0), |(a, b)| (a * 1e6, b));
+    let parity_w2 = transport_parity(2);
+    let parity_w4 = transport_parity(4);
+
+    let body = format!(
+        "{{\n    \"allreduce_256KiB_w2_{TRANSPORT_ROUNDS}rounds\": {{ \"thread_ns\": {thread_ns:.0}, \
+         \"tcp_loopback_ns\": {tcp_ns:.0}, \"tcp_over_thread\": {:.2} }},\n    \
+         \"sever_and_heal_w2\": {{ \"six_rounds_across_reconnect_us\": {heal_us:.1}, \
+         \"reconnect_attempts\": {reconnects}, \"retransmitted_frames\": {retransmits} }},\n    \
+         \"measured_alpha_beta_tcp_w2\": {{ \"alpha_us\": {alpha_us:.2}, \
+         \"bw_bytes_per_s\": {bw:.0} }},\n    \
+         \"parity_bitwise\": {{ \"w2\": {parity_w2}, \"w4\": {parity_w4} }}\n  }}",
+        tcp_ns / thread_ns.max(1.0),
+    );
+
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_transport.smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
+    };
+    update_sections(std::path::Path::new(path), &[("transport", body)]);
+    eprintln!("wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_allreduce, bench_allgather_payload, bench_split, bench_overlap,
-              bench_dp_bucketed_backward, bench_fault_tolerance,
-              emit_collectives_json, emit_fault_tolerance_json
+              bench_dp_bucketed_backward, bench_fault_tolerance, bench_transport,
+              emit_collectives_json, emit_fault_tolerance_json, emit_transport_json
 }
 criterion_main!(benches);

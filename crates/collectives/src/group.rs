@@ -28,6 +28,8 @@ use parking_lot::{Condvar, Mutex};
 use dchag_tensor::ops;
 use dchag_tensor::Tensor;
 
+use crate::transport;
+
 use crate::fault::CommError;
 use crate::nonblocking::{self, CollKind, CommPrecision, CommRequest};
 use crate::thread_comm::CommCore;
@@ -124,6 +126,12 @@ impl WorldShared {
         self.epoch.load(Ordering::SeqCst)
     }
 
+    /// Set the epoch directly — used by the TCP transport, whose regroup
+    /// agreement happens over the wire rather than on the shared board.
+    pub(crate) fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
     /// Survivor-side regroup barrier (see [`Communicator::regroup`]).
     ///
     /// Waits up to `deadline` for every not-yet-failed rank to arrive; ranks
@@ -210,6 +218,11 @@ pub struct Communicator {
     /// are unaffected). Handles of the same group may only mix precisions
     /// if every rank still issues each *collective* with the same one.
     precision: CommPrecision,
+    /// TCP transport send side, when this group spans real sockets: every
+    /// local contribution is additionally fanned out to the remote members,
+    /// whose receiver threads deposit it into their replica cores. `None`
+    /// on the in-process thread transport.
+    remote: Option<Arc<transport::GroupLink>>,
 }
 
 impl Communicator {
@@ -221,6 +234,26 @@ impl Communicator {
             core,
             world,
             precision: CommPrecision::F32,
+            remote: None,
+        }
+    }
+
+    /// Used by the TCP launcher: the same world group, but with a transport
+    /// link fanning local contributions out to the remote replicas.
+    pub(crate) fn new_tcp_world(
+        rank: usize,
+        size: usize,
+        core: Arc<CommCore>,
+        world: Arc<WorldShared>,
+        link: Arc<transport::GroupLink>,
+    ) -> Self {
+        Communicator {
+            rank,
+            group_ranks: (0..size).collect(),
+            core,
+            world,
+            precision: CommPrecision::F32,
+            remote: Some(link),
         }
     }
 
@@ -283,7 +316,10 @@ impl Communicator {
     }
 
     fn record(&self, op: CollOp, payload_bytes: usize) -> Option<usize> {
-        if self.rank == 0 {
+        // Thread transport: one shared log, rank 0 records for the group.
+        // TCP transport: one log *per process*, so every rank records its
+        // own view (that per-process log is what a live α-β fit reads).
+        if self.rank == 0 || self.remote.is_some() {
             Some(self.world.log.record(op, payload_bytes, &self.group_ranks))
         } else {
             None
@@ -295,7 +331,7 @@ impl Communicator {
         // bf16 wire halves the sendbuf bytes (the α-β fit and per-op byte
         // totals read this).
         let seq = self.record(kind.op(), t.numel() * self.precision.elem_bytes());
-        nonblocking::issue(
+        let req = nonblocking::issue(
             &self.core,
             self.rank,
             kind,
@@ -303,12 +339,16 @@ impl Communicator {
             t,
             seq,
             self.world.log.clone(),
-        )
+        );
+        if let Some(link) = &self.remote {
+            link.send_issue(req.seq(), kind, self.precision, t);
+        }
+        req
     }
 
     fn try_issue(&self, kind: CollKind, t: &Tensor) -> Result<CommRequest, CommError> {
         let seq = self.record(kind.op(), t.numel() * self.precision.elem_bytes());
-        nonblocking::try_issue(
+        let req = nonblocking::try_issue(
             &self.core,
             self.rank,
             kind,
@@ -316,7 +356,11 @@ impl Communicator {
             t,
             seq,
             self.world.log.clone(),
-        )
+        )?;
+        if let Some(link) = &self.remote {
+            link.send_issue(req.seq(), kind, self.precision, t);
+        }
+        Ok(req)
     }
 
     // ----- nonblocking collectives ------------------------------------------
@@ -353,7 +397,11 @@ impl Communicator {
     /// (Exchange path: payloads move by `Arc` clone, no chunk pipeline.)
     pub fn all_gather_vec(&self, t: &Tensor) -> Vec<Tensor> {
         self.record(CollOp::AllGather, t.size_bytes());
+        if let Some(link) = &self.remote {
+            link.send_exchange(transport::ExchangePayload::Tensor(t));
+        }
         let out = self.core.exchange(self.rank, Box::new(t.clone()));
+        self.exchange_complete();
         out.iter()
             .map(|p| p.downcast_ref::<Tensor>().expect("tensor payload").clone())
             .collect()
@@ -385,14 +433,22 @@ impl Communicator {
     pub fn broadcast(&self, t: &Tensor, root: usize) -> Tensor {
         assert!(root < self.size());
         self.record(CollOp::Broadcast, t.size_bytes());
+        if let Some(link) = &self.remote {
+            link.send_exchange(transport::ExchangePayload::Tensor(t));
+        }
         let out = self.core.exchange(self.rank, Box::new(t.clone()));
+        self.exchange_complete();
         out[root].downcast_ref::<Tensor>().unwrap().clone()
     }
 
     /// Synchronization barrier.
     pub fn barrier(&self) {
         self.record(CollOp::Barrier, 0);
+        if let Some(link) = &self.remote {
+            link.send_exchange(transport::ExchangePayload::Unit);
+        }
         let _ = self.core.exchange(self.rank, Box::new(()));
+        self.exchange_complete();
     }
 
     // ----- fallible collectives ---------------------------------------------
@@ -438,9 +494,21 @@ impl Communicator {
     /// Fallible, deadline-bounded [`Communicator::barrier`].
     pub fn try_barrier(&self, deadline: Option<Duration>) -> Result<(), CommError> {
         self.record(CollOp::Barrier, 0);
-        self.core
-            .try_exchange(self.rank, Box::new(()), deadline)
-            .map(|_| ())
+        if let Some(link) = &self.remote {
+            link.send_exchange(transport::ExchangePayload::Unit);
+        }
+        let out = self.core.try_exchange(self.rank, Box::new(()), deadline).map(|_| ());
+        if out.is_ok() {
+            self.exchange_complete();
+        }
+        out
+    }
+
+    /// Mark the outstanding exchange-path send consumed (TCP transport).
+    fn exchange_complete(&self) {
+        if let Some(link) = &self.remote {
+            link.exchange_complete();
+        }
     }
 
     // ----- elastic regroup --------------------------------------------------
@@ -462,6 +530,24 @@ impl Communicator {
     pub fn regroup(&self, deadline: Duration) -> Result<Communicator, CommError> {
         let me = self.global_rank();
         let before = self.world.topo.world_size - self.world.failed_ranks().len();
+        if let Some(link) = &self.remote {
+            // TCP transport: agreement happens over the wire (proposal
+            // union with deadline eviction), not on the shared board.
+            let (survivors, rank, core, new_link) = link.endpoint().regroup_survivors(deadline)?;
+            self.world.log.record_fault(format!(
+                "regroup epoch {}: world {before} -> {} (global rank {me} is now rank {rank})",
+                self.world.epoch(),
+                survivors.len(),
+            ));
+            return Ok(Communicator {
+                rank,
+                group_ranks: survivors,
+                core,
+                world: self.world.clone(),
+                precision: self.precision,
+                remote: Some(new_link),
+            });
+        }
         let (survivors, core) = self.world.regroup(me, deadline)?;
         let rank = survivors
             .iter()
@@ -478,6 +564,7 @@ impl Communicator {
             core,
             world: self.world.clone(),
             precision: self.precision,
+            remote: None,
         })
     }
 
@@ -488,7 +575,11 @@ impl Communicator {
     /// key = parent rank).
     pub fn split(&self, color: usize) -> Communicator {
         // Phase 1: everyone shares its color.
+        if let Some(link) = &self.remote {
+            link.send_exchange(transport::ExchangePayload::Num(color as u64));
+        }
         let colors = self.core.exchange(self.rank, Box::new(color));
+        self.exchange_complete();
         let colors: Vec<usize> = colors
             .iter()
             .map(|p| *p.downcast_ref::<usize>().unwrap())
@@ -497,6 +588,32 @@ impl Communicator {
         let members: Vec<usize> = (0..self.size()).filter(|&r| colors[r] == color).collect();
         let my_new_rank = members.iter().position(|&r| r == self.rank).unwrap();
         let leader = members[0];
+
+        if let Some(link) = &self.remote {
+            // Phase 2 (TCP): no publish round needed — every member derives
+            // the same split group id locally (parent gid × split counter ×
+            // color) and builds its own full-size replica core.
+            let split_seq = link.next_split_seq();
+            let gid = transport::gid_split(link.gid(), split_seq, color as u64);
+            let core = if members.len() == 1 {
+                CommCore::new(1)
+            } else {
+                CommCore::new_remote(members.len())
+            };
+            self.world.register_core(&core);
+            let group_ranks: Vec<usize> =
+                members.iter().map(|&r| self.group_ranks[r]).collect();
+            let sub_link =
+                link.endpoint().register_group(gid, group_ranks.clone(), my_new_rank, core.clone());
+            return Communicator {
+                rank: my_new_rank,
+                group_ranks,
+                core,
+                world: self.world.clone(),
+                precision: self.precision,
+                remote: Some(sub_link),
+            };
+        }
 
         // Phase 2: each color's leader creates and publishes the new core.
         let contribution: Option<Arc<CommCore>> = if self.rank == leader {
@@ -520,6 +637,7 @@ impl Communicator {
             core: new_core,
             world: self.world.clone(),
             precision: self.precision,
+            remote: None,
         }
     }
 }

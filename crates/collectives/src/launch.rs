@@ -199,7 +199,7 @@ where
 /// wide) a hook that swallows exactly those typed payloads and defers to
 /// the previous hook for everything else; a genuine bug's panic still
 /// prints as before.
-fn silence_expected_fault_panics() {
+pub(crate) fn silence_expected_fault_panics() {
     use crate::fault::{CommPanic, InjectedFault};
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {

@@ -31,6 +31,7 @@ pub mod nonblocking;
 pub mod thread_comm;
 pub mod topology;
 pub mod traffic;
+pub mod transport;
 
 pub use fault::{
     comm_error_of, describe_payload, CommError, CommPanic, FaultPlan, FaultPoint, InjectedFault,
@@ -43,7 +44,13 @@ pub use nonblocking::{
     comm_chunk_elems, set_comm_chunk_elems, CommPrecision, CommRequest, COMM_CHUNK_ELEMS,
 };
 pub use topology::Topology;
-pub use traffic::{ChunkEvent, CollEvent, CollOp, FaultEvent, TrafficLog};
+pub use traffic::{
+    ChunkEvent, CollEvent, CollOp, FaultEvent, TrafficLog, TransportEvent, TransportEventKind,
+};
+pub use transport::{
+    connect_world, run_tcp_ranks, run_tcp_ranks_faulty, run_transport_ranks, spawn_world,
+    tcp_world_from_env, TcpConfig, TcpEnv, TcpRun, Transport, TransportFault, TransportFaultPlan,
+};
 
 #[cfg(test)]
 mod tests {

@@ -296,6 +296,22 @@ impl Engine {
     pub(crate) fn rounds_len(&self) -> usize {
         self.state.lock().rounds.len()
     }
+
+    /// Mark every incomplete in-flight round *disturbed* in the traffic log
+    /// (its frames crossed a reconnect, so its duration measures backoff,
+    /// not the fabric). Called by a socket transport after re-establishing
+    /// a severed connection; unlike [`abort_inflight`](Engine::abort_inflight)
+    /// the rounds still complete and their bytes still count.
+    pub(crate) fn disturb_inflight(&self, log: &TrafficLog) {
+        let st = self.state.lock();
+        for entry in st.rounds.values() {
+            if !entry.shared.complete.load(Ordering::Acquire) {
+                if let Some(es) = entry.shared.stamps.lock().event_seq {
+                    log.mark_round_disturbed(es);
+                }
+            }
+        }
+    }
 }
 
 /// Handle to an in-flight collective. Obtain from the `Communicator::i*`
@@ -404,6 +420,80 @@ pub(crate) fn try_issue(
         seq,
         retired: false,
     })
+}
+
+/// Deposit `t` as the contribution of a rank that lives in **another
+/// process** (called by a transport receiver thread). Identical to
+/// [`try_issue`] except: no fault-injection probe (the remote rank's probes
+/// ran in its own process), no `event_seq` (the local rank's deposit stamps
+/// attribution on this process's log), and the remote rank's share of the
+/// round bookkeeping is retired immediately — a remote rank never waits
+/// here. Returns the engine-assigned sequence number so the transport can
+/// cross-check it against the frame's wire sequence.
+pub(crate) fn deposit_remote(
+    core: &Arc<CommCore>,
+    rank: usize,
+    kind: CollKind,
+    precision: CommPrecision,
+    t: &Tensor,
+    log: &TrafficLog,
+) -> Result<u64, CommError> {
+    let engine = core.engine();
+    let group = core.size();
+    let mut st = engine.state.lock();
+    engine.check_live()?;
+    let seq = st.next_seq[rank];
+    st.next_seq[rank] += 1;
+
+    let entry = st.rounds.entry(seq).or_insert_with(|| RoundEntry {
+        arrived: 0,
+        retired: 0,
+        contribs: vec![None; group],
+        shared: Arc::new(Round {
+            kind,
+            precision,
+            group,
+            seq,
+            frozen: OnceLock::new(),
+            next_chunk: AtomicUsize::new(0),
+            done_chunks: AtomicUsize::new(0),
+            complete: AtomicBool::new(false),
+            stamps: Mutex::new(Stamps {
+                issued_us: log.now_us(),
+                event_seq: None,
+            }),
+        }),
+    });
+    assert_eq!(
+        entry.shared.kind, kind,
+        "remote rank {rank} sent {kind:?} at collective #{seq} but this process issued {:?} — \
+         nonblocking collectives must be issued in the same order on every rank",
+        entry.shared.kind
+    );
+    assert_eq!(
+        entry.shared.precision, precision,
+        "remote rank {rank} sent collective #{seq} with {precision:?} wire but this process \
+         used {:?} — every rank of a group must agree on the wire precision",
+        entry.shared.precision
+    );
+    validate_contribution(kind, group, &entry.contribs, t);
+    debug_assert!(entry.contribs[rank].is_none(), "remote rank {rank} double-deposit at #{seq}");
+    entry.contribs[rank] = Some(t.clone());
+    entry.arrived += 1;
+    entry.retired += 1;
+    let round = entry.shared.clone();
+    let fully_retired = entry.retired == group;
+    if entry.arrived == group {
+        let contribs: Vec<Tensor> = entry.contribs.iter_mut().map(|c| c.take().unwrap()).collect();
+        freeze(&round, contribs, log.now_us());
+        engine.cv.notify_all();
+    }
+    if fully_retired {
+        // The local rank already dropped its request (fire-and-forget):
+        // nobody in this process will read the result, so release the round.
+        st.rounds.remove(&seq);
+    }
+    Ok(seq)
 }
 
 fn validate_contribution(kind: CollKind, group: usize, existing: &[Option<Tensor>], t: &Tensor) {
@@ -588,6 +678,13 @@ fn try_progress(core: &CommCore, log: &TrafficLog, max: usize) -> bool {
 }
 
 impl CommRequest {
+    /// Engine sequence number of this request's round (the per-rank issue
+    /// counter value) — a socket transport stamps it on the wire so the
+    /// receiving side can cross-check SPMD order.
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Nonblocking completion check. Contributes a bounded amount of chunk
     /// work (one chunk) so polling callers still drive the pipeline.
     /// Panics (typed [`crate::fault::CommPanic`]) if the group is poisoned;

@@ -10,6 +10,7 @@
 //! metadata, or nested communicator handles.
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,12 @@ struct State {
     poisoned: bool,
     /// Root cause of the poison (first setter wins).
     poison_cause: Option<CommError>,
+    /// Remote deposits that raced ahead of the current round (a peer
+    /// process may send its round-`g+1` payload before this process's local
+    /// rank has departed round `g`). One FIFO per rank; drained in order at
+    /// each publish, so per-peer round order is preserved. Always empty on
+    /// all-local (thread-transport) cores.
+    pending: Vec<VecDeque<Payload>>,
 }
 
 /// Shared rendezvous state for one process group, plus the nonblocking
@@ -36,6 +43,11 @@ struct State {
 /// poison lifecycle.
 pub struct CommCore {
     size: usize,
+    /// How many of the `size` ranks execute in this process. The thread
+    /// transport hosts all of them (`local_ranks == size`); a socket
+    /// transport hosts exactly one, with the other `size - 1` slots fed by
+    /// [`deposit_remote`](CommCore::deposit_remote) from receiver threads.
+    local_ranks: usize,
     state: Mutex<State>,
     cv: Condvar,
     engine: Engine,
@@ -43,9 +55,21 @@ pub struct CommCore {
 
 impl CommCore {
     pub fn new(size: usize) -> Arc<Self> {
+        Self::with_local(size, size)
+    }
+
+    /// A core whose ranks live in other processes: only one rank executes
+    /// locally; the rest are mirrored in by a transport receiver.
+    pub(crate) fn new_remote(size: usize) -> Arc<Self> {
+        Self::with_local(size, 1)
+    }
+
+    fn with_local(size: usize, local_ranks: usize) -> Arc<Self> {
         assert!(size > 0, "process group must be non-empty");
+        assert!(local_ranks >= 1 && local_ranks <= size);
         Arc::new(CommCore {
             size,
+            local_ranks,
             state: Mutex::new(State {
                 slots: (0..size).map(|_| None).collect(),
                 arrived: 0,
@@ -54,6 +78,7 @@ impl CommCore {
                 result: None,
                 poisoned: false,
                 poison_cause: None,
+                pending: (0..size).map(|_| VecDeque::new()).collect(),
             }),
             cv: Condvar::new(),
             engine: Engine::new(size),
@@ -82,6 +107,50 @@ impl CommCore {
         self.cv.notify_all();
         drop(s);
         self.engine.poison(cause);
+    }
+
+    /// Publish the completed round and drain at most one queued remote
+    /// deposit per rank into the next round's slots. Caller holds the lock
+    /// and has verified `arrived == size`.
+    fn publish(&self, s: &mut State) {
+        debug_assert!(s.result.is_none(), "previous round's result unconsumed");
+        let contributions: Vec<Payload> =
+            s.slots.iter_mut().map(|slot| slot.take().unwrap()).collect();
+        s.result = Some(Arc::new(contributions));
+        s.arrived = 0;
+        s.generation = s.generation.wrapping_add(1);
+        for r in 0..self.size {
+            if let Some(p) = s.pending[r].pop_front() {
+                s.slots[r] = Some(p);
+                s.arrived += 1;
+            }
+        }
+        // The drain can never complete the next round: the local rank's
+        // deposit only ever lands directly (it deposits strictly after
+        // departing, and `pending` holds remote deposits only).
+        debug_assert!(s.arrived < self.size || self.size == 1);
+        self.cv.notify_all();
+    }
+
+    /// Deposit `payload` on behalf of a rank that lives in another process
+    /// (called by a transport receiver thread). Never blocks: a deposit
+    /// that races ahead of the current round is queued and drained at the
+    /// next publish. Deposits into a poisoned core are dropped.
+    pub(crate) fn deposit_remote(&self, rank: usize, payload: Payload) {
+        assert!(rank < self.size, "rank {rank} out of group size {}", self.size);
+        let mut s = self.state.lock();
+        if s.poisoned {
+            return;
+        }
+        if s.slots[rank].is_some() {
+            s.pending[rank].push_back(payload);
+            return;
+        }
+        s.slots[rank] = Some(payload);
+        s.arrived += 1;
+        if s.arrived == self.size {
+            self.publish(&mut s);
+        }
     }
 
     /// Deposit `payload` as `rank` and receive everyone's payloads, in rank
@@ -116,12 +185,7 @@ impl CommCore {
 
         if s.arrived == self.size {
             // Last arriver assembles and publishes the round's result.
-            let contributions: Vec<Payload> =
-                s.slots.iter_mut().map(|slot| slot.take().unwrap()).collect();
-            s.result = Some(Arc::new(contributions));
-            s.arrived = 0;
-            s.generation = s.generation.wrapping_add(1);
-            self.cv.notify_all();
+            self.publish(&mut s);
         } else {
             let gen = s.generation;
             while s.generation == gen && !s.poisoned {
@@ -145,7 +209,7 @@ impl CommCore {
 
         let result = s.result.clone().expect("result published");
         s.departed += 1;
-        if s.departed == self.size {
+        if s.departed == self.local_ranks {
             s.result = None;
             s.departed = 0;
         }
@@ -214,6 +278,32 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn remote_deposits_race_ahead_without_mixing_rounds() {
+        // A remote-backed core (one local rank) where the remote peer runs
+        // three full rounds ahead before the local rank arrives at all: the
+        // pending queue must hand the local rank each round's payload in
+        // order, never mixing generations.
+        let core = CommCore::new_remote(2);
+        for round in 0..3u64 {
+            core.deposit_remote(1, Box::new(100 + round));
+        }
+        for round in 0..3u64 {
+            let out = core.exchange(0, Box::new(round));
+            assert_eq!(*out[0].downcast_ref::<u64>().unwrap(), round);
+            assert_eq!(*out[1].downcast_ref::<u64>().unwrap(), 100 + round);
+        }
+    }
+
+    #[test]
+    fn remote_deposit_into_poisoned_core_is_dropped() {
+        let core = CommCore::new_remote(2);
+        core.poison(CommError::PeerFailed { rank: 1, epoch: 0 });
+        core.deposit_remote(1, Box::new(1u64));
+        let err = core.try_exchange(0, Box::new(0u64), None).unwrap_err();
+        assert_eq!(err, CommError::PeerFailed { rank: 1, epoch: 0 });
     }
 
     #[test]

@@ -92,6 +92,34 @@ pub struct FaultEvent {
     pub at_us: f64,
 }
 
+/// What a transport-level event was (real-socket worlds only; the thread
+/// transport never records these).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportEventKind {
+    /// One reconnect dial attempt toward a peer (successful or not).
+    ReconnectAttempt,
+    /// A severed connection was re-established inside the current epoch.
+    Reconnected,
+    /// One previously-sent, unacknowledged frame was retransmitted after a
+    /// reconnect.
+    Retransmit,
+    /// A peer went silent past the heartbeat deadline.
+    HeartbeatMiss,
+    /// An inbound connection was refused at handshake (stale epoch, wrong
+    /// world size, bad magic/version).
+    HandshakeRejected,
+}
+
+/// One transport-level event (reconnects, retransmissions, heartbeat
+/// misses), timestamped on the traffic clock. `peer` is the world rank of
+/// the remote endpoint involved.
+#[derive(Clone, Debug)]
+pub struct TransportEvent {
+    pub peer: usize,
+    pub kind: TransportEventKind,
+    pub at_us: f64,
+}
+
 /// Shared, thread-safe event log for one world.
 pub struct TrafficLog {
     events: Mutex<Vec<CollEvent>>,
@@ -101,7 +129,12 @@ pub struct TrafficLog {
     /// the α-β fitter skips them — a half-run round's "duration" measures
     /// the failure, not the fabric.
     aborted: Mutex<BTreeSet<usize>>,
+    /// `coll_seq`s of rounds whose frames crossed a reconnect (the round
+    /// completed, unlike an aborted one, but its duration includes backoff
+    /// and retransmission — the α-β fitter skips these too).
+    disturbed: Mutex<BTreeSet<usize>>,
     faults: Mutex<Vec<FaultEvent>>,
+    transport: Mutex<Vec<TransportEvent>>,
     seq: AtomicUsize,
     wire_bytes: AtomicUsize,
     epoch: Instant,
@@ -113,7 +146,9 @@ impl Default for TrafficLog {
             events: Mutex::new(Vec::new()),
             chunk_events: Mutex::new(Vec::new()),
             aborted: Mutex::new(BTreeSet::new()),
+            disturbed: Mutex::new(BTreeSet::new()),
             faults: Mutex::new(Vec::new()),
+            transport: Mutex::new(Vec::new()),
             seq: AtomicUsize::new(0),
             wire_bytes: AtomicUsize::new(0),
             epoch: Instant::now(),
@@ -191,6 +226,58 @@ impl TrafficLog {
         self.aborted.lock().iter().copied().collect()
     }
 
+    /// Mark a collective's round disturbed: it completed, but at least one
+    /// of its frames crossed a reconnect (or was retransmitted), so its
+    /// duration measures backoff + retransmission, not the fabric. The α-β
+    /// fitter skips disturbed rounds like aborted ones; unlike aborted
+    /// rounds, their wire bytes still count (the data really moved).
+    pub fn mark_round_disturbed(&self, coll_seq: usize) {
+        if coll_seq != usize::MAX {
+            self.disturbed.lock().insert(coll_seq);
+        }
+    }
+
+    /// Whether `coll_seq`'s round crossed a reconnect (α-β fitters skip
+    /// these).
+    pub fn is_round_disturbed(&self, coll_seq: usize) -> bool {
+        self.disturbed.lock().contains(&coll_seq)
+    }
+
+    /// `coll_seq`s of every disturbed round so far.
+    pub fn disturbed_rounds(&self) -> Vec<usize> {
+        self.disturbed.lock().iter().copied().collect()
+    }
+
+    /// Record one transport-level event (reconnect attempt, retransmission,
+    /// heartbeat miss, ...), stamped on the traffic clock.
+    pub fn record_transport(&self, peer: usize, kind: TransportEventKind) {
+        let at_us = self.now_us();
+        self.transport.lock().push(TransportEvent { peer, kind, at_us });
+    }
+
+    /// Snapshot of all transport-level events so far.
+    pub fn transport_events(&self) -> Vec<TransportEvent> {
+        self.transport.lock().clone()
+    }
+
+    /// Total reconnect dial attempts recorded so far.
+    pub fn reconnect_attempts(&self) -> usize {
+        self.transport
+            .lock()
+            .iter()
+            .filter(|e| e.kind == TransportEventKind::ReconnectAttempt)
+            .count()
+    }
+
+    /// Total frames retransmitted after reconnects so far.
+    pub fn retransmitted_frames(&self) -> usize {
+        self.transport
+            .lock()
+            .iter()
+            .filter(|e| e.kind == TransportEventKind::Retransmit)
+            .count()
+    }
+
     /// Record a detected failure or recovery action.
     pub fn record_fault(&self, cause: String) {
         let at_us = self.now_us();
@@ -251,7 +338,9 @@ impl TrafficLog {
         self.events.lock().clear();
         self.chunk_events.lock().clear();
         self.aborted.lock().clear();
+        self.disturbed.lock().clear();
         self.faults.lock().clear();
+        self.transport.lock().clear();
         self.wire_bytes.store(0, Ordering::Relaxed);
     }
 }
@@ -355,6 +444,31 @@ mod tests {
         assert_eq!(log.bytes_on_wire(), 100);
         log.clear();
         assert!(log.aborted_rounds().is_empty());
+    }
+
+    #[test]
+    fn transport_events_count_reconnects_and_retransmits() {
+        let log = TrafficLog::new();
+        let seq = log.record(CollOp::AllReduce, 4096, &[0, 1]);
+        log.record_transport(1, TransportEventKind::ReconnectAttempt);
+        log.record_transport(1, TransportEventKind::ReconnectAttempt);
+        log.record_transport(1, TransportEventKind::Reconnected);
+        log.record_transport(1, TransportEventKind::Retransmit);
+        log.mark_round_disturbed(seq);
+        assert_eq!(log.reconnect_attempts(), 2);
+        assert_eq!(log.retransmitted_frames(), 1);
+        assert_eq!(log.transport_events().len(), 4);
+        assert!(log.is_round_disturbed(seq));
+        assert!(!log.is_round_aborted(seq), "disturbed != aborted");
+        assert_eq!(log.disturbed_rounds(), vec![seq]);
+        // Unattributed rounds can't be marked; marking twice is idempotent.
+        log.mark_round_disturbed(usize::MAX);
+        log.mark_round_disturbed(seq);
+        assert_eq!(log.disturbed_rounds(), vec![seq]);
+        log.clear();
+        assert!(log.transport_events().is_empty());
+        assert!(log.disturbed_rounds().is_empty());
+        assert_eq!(log.reconnect_attempts(), 0);
     }
 
     #[test]

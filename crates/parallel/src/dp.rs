@@ -152,6 +152,13 @@ pub fn measured_alpha_beta(log: &dchag_collectives::TrafficLog) -> Option<(f64, 
         if log.is_round_aborted(e.coll_seq) {
             continue;
         }
+        // Rounds disturbed by a transport reconnect *completed*, but their
+        // wall time includes dial backoff and frame retransmission — the
+        // same arbitrary α bias as an abort. The TCP transport marks them;
+        // the fit drops them too.
+        if log.is_round_disturbed(e.coll_seq) {
+            continue;
+        }
         let r = rounds.entry(e.coll_seq).or_insert((0.0, e.ready_us, e.done_us));
         r.0 += e.bytes_on_wire as f64;
         r.2 = r.2.max(e.done_us);
@@ -180,6 +187,20 @@ pub fn apply_measured_comm_sizing(
     total_elems: usize,
     world: usize,
 ) -> Option<(usize, usize)> {
+    let (bucket, chunk) = measured_comm_sizes(log, total_elems, world)?;
+    dchag_collectives::set_comm_chunk_elems(chunk);
+    Some((bucket, chunk))
+}
+
+/// The compute-only half of [`apply_measured_comm_sizing`]: fit the fabric
+/// and derive `(bucket_elems, chunk_elems)` without installing anything.
+/// [`CommTuner`] uses this on the fitting rank so the *broadcast* result —
+/// not each rank's local fit — is what gets installed everywhere.
+pub fn measured_comm_sizes(
+    log: &dchag_collectives::TrafficLog,
+    total_elems: usize,
+    world: usize,
+) -> Option<(usize, usize)> {
     if world <= 1 || total_elems == 0 {
         return None;
     }
@@ -190,8 +211,87 @@ pub fn apply_measured_comm_sizing(
     let wire = dchag_perf::comm::Wire::Intra;
     let bucket = dchag_perf::comm::optimal_bucket_elems(&machine, total_elems, world, wire);
     let chunk = dchag_perf::comm::optimal_chunk_elems(&machine, bucket as f64 * 4.0, world, wire);
-    dchag_collectives::set_comm_chunk_elems(chunk);
     Some((bucket, chunk))
+}
+
+/// Online α-β refresh: periodically refit the fabric from the **live**
+/// traffic log and re-install DDP bucket/chunk sizes, mid-run.
+///
+/// Rank symmetry is the whole design problem here. Over the thread
+/// transport every rank reads one shared log, but over TCP each process
+/// has its *own* log with its own timestamps — per-rank fits disagree, and
+/// installing a rank-local fit would desynchronize chunk schedules (DDP's
+/// bitwise-parity invariant dies). So rank 0 alone fits, and the result
+/// rides a broadcast: every rank installs exactly the bytes rank 0
+/// derived. Sizes cross the wire as `u16` halves widened to `f32` — every
+/// value exactly representable, so the trip is lossless over either
+/// transport and either [`dchag_collectives::CommPrecision`].
+///
+/// Call [`CommTuner::maybe_refresh`] once per training step **between**
+/// steps (the schedule-freeze boundary: no collectives in flight, next
+/// step not yet issued). Off-cycle steps cost nothing; on-cycle steps cost
+/// one world broadcast of 5 floats.
+pub struct CommTuner {
+    comm: Communicator,
+    total_elems: usize,
+    every: usize,
+    step: usize,
+    current: Option<(usize, usize)>,
+}
+
+impl CommTuner {
+    /// `every == 0` disables refresh (the tuner becomes inert).
+    pub fn new(comm: &Communicator, total_elems: usize, every: usize) -> Self {
+        CommTuner { comm: comm.clone(), total_elems, every, step: 0, current: None }
+    }
+
+    /// Advance one step; on refresh steps, fit on rank 0, broadcast, and
+    /// install the agreed sizes on every rank. Returns the newly installed
+    /// `(bucket_elems, chunk_elems)` when a refresh landed this step.
+    pub fn maybe_refresh(&mut self, log: &dchag_collectives::TrafficLog) -> Option<(usize, usize)> {
+        self.step += 1;
+        if self.every == 0 || !self.step.is_multiple_of(self.every) || self.comm.size() <= 1 {
+            return None;
+        }
+        let proposal = if self.comm.rank() == 0 {
+            measured_comm_sizes(log, self.total_elems, self.comm.size())
+        } else {
+            None
+        };
+        // [ok, bucket_hi, bucket_lo, chunk_hi, chunk_lo] — u16 halves as
+        // exact f32s. Non-root contributions are ignored by broadcast.
+        let enc = |v: usize| ((v >> 16) as u16 as f32, (v & 0xffff) as u16 as f32);
+        let wire = match proposal {
+            Some((b, c)) => {
+                let (bh, bl) = enc(b);
+                let (ch, cl) = enc(c);
+                vec![1.0, bh, bl, ch, cl]
+            }
+            None => vec![0.0; 5],
+        };
+        let got = self.comm.broadcast(&Tensor::from_vec(wire, [5]), 0);
+        let got = got.to_vec();
+        if got[0] != 1.0 {
+            return None; // rank 0's log can't identify the model yet
+        }
+        let dec = |hi: f32, lo: f32| ((hi as usize) << 16) | (lo as usize);
+        let bucket = dec(got[1], got[2]).max(1);
+        let chunk = dec(got[3], got[4]).max(1);
+        dchag_collectives::set_comm_chunk_elems(chunk);
+        self.current = Some((bucket, chunk));
+        Some((bucket, chunk))
+    }
+
+    /// The most recently installed sizes, if any refresh has landed.
+    pub fn sizes(&self) -> Option<(usize, usize)> {
+        self.current
+    }
+
+    /// Bucket size for the next [`DdpBinder::with_bucket`], falling back
+    /// to `default` until the first refresh lands.
+    pub fn bucket_or(&self, default: usize) -> usize {
+        self.current.map_or(default, |(b, _)| b)
+    }
 }
 
 struct InflightBucket {
@@ -411,6 +511,112 @@ mod tests {
         assert!(apply_measured_comm_sizing(&log, 30_000_000, 1).is_none());
         assert!(apply_measured_comm_sizing(&log, 0, 4).is_none());
         dchag_collectives::set_comm_chunk_elems(prev);
+    }
+
+    #[test]
+    fn disturbed_rounds_are_excluded_from_fit() {
+        // Two logs: `clean` holds six well-behaved samples; `noisy` holds
+        // the same six plus a reconnect-disturbed round whose wall time is
+        // three orders of magnitude off (dial backoff + retransmit). With
+        // the round marked disturbed the fits must be identical; an
+        // unmarked copy of the same round visibly corrupts the fit.
+        let mk = |rounds: &[(usize, usize, f64)]| {
+            let log = dchag_collectives::TrafficLog::new();
+            for &(seq, bytes, wall_s) in rounds {
+                log.record_chunk(ChunkEvent {
+                    op: CollOp::AllReduce,
+                    coll_seq: seq,
+                    chunk: 0,
+                    bytes_on_wire: bytes,
+                    issued_us: 0.0,
+                    ready_us: 0.0,
+                    done_us: wall_s * 1e6,
+                });
+            }
+            log
+        };
+        let (alpha, bw) = (10e-6, 20e9);
+        let clean: Vec<(usize, usize, f64)> = [65536usize, 65536, 65536, 65536, 16384, 32768]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i, b, alpha + b as f64 / bw))
+            .collect();
+        let wild = (6usize, 65536usize, 0.25); // crossed a reconnect
+        let mut noisy = clean.clone();
+        noisy.push(wild);
+
+        let base = measured_alpha_beta(&mk(&clean)).expect("clean log fits");
+        let marked = mk(&noisy);
+        marked.mark_round_disturbed(wild.0);
+        assert!(marked.is_round_disturbed(wild.0));
+        assert_eq!(
+            measured_alpha_beta(&marked),
+            Some(base),
+            "disturbed round must not perturb the fit at all"
+        );
+        let unmarked = measured_alpha_beta(&mk(&noisy)).expect("still identifiable");
+        assert!(
+            (unmarked.0 - base.0).abs() > 0.5 * base.0,
+            "sanity: the wild round really would have biased α ({} vs {})",
+            unmarked.0,
+            base.0
+        );
+    }
+
+    #[test]
+    fn comm_tuner_installs_rank0_fit_on_every_rank_over_tcp() {
+        let _guard = CHUNK_CFG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = dchag_collectives::comm_chunk_elems();
+        // Over TCP every rank owns a private log with private timestamps,
+        // so local fits genuinely disagree — the broadcast is what makes
+        // the installed sizes rank-symmetric.
+        let run = dchag_collectives::run_tcp_ranks(
+            2,
+            dchag_collectives::TcpConfig::default(),
+            |ctx| {
+                let mut tuner = CommTuner::new(&ctx.comm, 30_000_000, 3);
+                let mut landed = Vec::new();
+                for step in 0..6 {
+                    let n = dchag_collectives::COMM_CHUNK_ELEMS * (1 + 7 * (step % 2));
+                    let _ = ctx.comm.iall_reduce_sum(&Tensor::ones([n])).wait();
+                    ctx.comm.barrier(); // schedule-freeze boundary
+                    if let Some(sizes) = tuner.maybe_refresh(ctx.comm.traffic()) {
+                        landed.push((step, sizes));
+                    }
+                }
+                assert_eq!(tuner.sizes().map(|(b, _)| b), Some(tuner.bucket_or(0)));
+                landed
+            },
+        );
+        // Restore the process-wide chunk size *before* asserting, so a
+        // failure here cannot leak a tuned size into sibling tests.
+        dchag_collectives::set_comm_chunk_elems(prev);
+        let outs: Vec<_> = run.outputs.into_iter().map(|o| o.expect("rank ok")).collect();
+        // Refresh cadence is every 3rd call (steps 2 and 5); the step-2
+        // attempt may broadcast "not identifiable yet" (only 3 rounds
+        // logged), but by step 5 the fit must land.
+        for out in &outs {
+            assert!(!out.is_empty(), "at least one refresh landed");
+            assert_eq!(out.last().unwrap().0, 5, "step-5 refresh landed: {out:?}");
+            assert!(out.iter().all(|(s, _)| *s == 2 || *s == 5));
+        }
+        // Rank symmetry: both ranks installed identical sizes despite
+        // fitting from different logs.
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn comm_tuner_is_inert_when_disabled_or_solo() {
+        let run = run_ranks(1, |ctx| {
+            let mut t = CommTuner::new(&ctx.comm, 1_000, 1);
+            t.maybe_refresh(ctx.comm.traffic()).is_none() && t.sizes().is_none()
+        });
+        assert_eq!(run.outputs, vec![true]);
+        let run = run_ranks(2, |ctx| {
+            let mut t = CommTuner::new(&ctx.comm, 1_000, 0);
+            (0..4).all(|_| t.maybe_refresh(ctx.comm.traffic()).is_none()) && t.bucket_or(7) == 7
+        });
+        assert_eq!(run.outputs, vec![true, true]);
     }
 
     #[test]
