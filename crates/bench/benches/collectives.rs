@@ -804,11 +804,126 @@ fn emit_transport_json(_c: &mut Criterion) {
     eprintln!("wrote {path}");
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint: durable-tier save/load throughput and the cost the training
+// loop actually pays per checkpoint (an Arc-clone snapshot + channel
+// enqueue — the background writer does the disk I/O).
+// ---------------------------------------------------------------------------
+
+use dchag_tensor::checkpoint::{CheckpointDir, Snapshot, SnapshotWriter};
+
+/// A ~4 MiB single-tensor store: large enough that fsync'd disk I/O is
+/// visible next to the O(1) snapshot path the training loop takes.
+fn ckpt_store() -> ParamStore {
+    let mut store = ParamStore::new();
+    let mut rng = Rng::new(11);
+    store.add("block.w", Tensor::randn([1024, 1024], 1.0, &mut rng));
+    store
+}
+
+fn ckpt_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("dchag_bench_ckpt_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    let snap = Snapshot::of_store(&ckpt_store(), 4);
+    let root = ckpt_root("crit");
+    let dir = CheckpointDir::open(&root, 0, 1).expect("open ckpt dir").with_retain(4);
+    g.bench_function("save_commit_4MiB_w1", |b| {
+        b.iter(|| {
+            dir.save_shard(black_box(&snap)).expect("save shard");
+            dir.commit(4, Duration::from_secs(10)).expect("commit");
+        })
+    });
+    g.bench_function("load_validate_4MiB", |b| {
+        b.iter(|| black_box(dir.load_shard(4, 0).expect("load shard")))
+    });
+    // What the training loop pays at checkpoint cadence: tensors are
+    // Arc-shared, so taking the snapshot never copies the payloads.
+    let store = ckpt_store();
+    g.bench_function("snapshot_of_store_1M_f32", |b| {
+        b.iter(|| black_box(Snapshot::of_store(black_box(&store), 4)))
+    });
+    let _ = std::fs::remove_dir_all(&root);
+    g.finish();
+}
+
+/// Refresh the `checkpoint` section of `BENCH_kernels.json`: durable
+/// save/load throughput, the enqueue cost the loop pays vs the synchronous
+/// save the background writer hides, and the round-trip bitwise verdict.
+fn emit_checkpoint_json(_c: &mut Criterion) {
+    if !emitter_enabled("emit_checkpoint_json") {
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--test");
+    let snap = Snapshot::of_store(&ckpt_store(), 4);
+    let bytes = snap.to_bytes().len();
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+
+    let root = ckpt_root("emit");
+    let dir = CheckpointDir::open(&root, 0, 1).expect("open ckpt dir").with_retain(4);
+    let sync_save_us = median_run(
+        || {
+            let t0 = std::time::Instant::now();
+            dir.save_shard(&snap).expect("save shard");
+            dir.commit(4, Duration::from_secs(10)).expect("commit");
+            t0.elapsed().as_secs_f64() * 1e6
+        },
+        quick,
+    );
+    let load_us = median_run(
+        || {
+            let t0 = std::time::Instant::now();
+            black_box(dir.load_shard(4, 0).expect("load shard"));
+            t0.elapsed().as_secs_f64() * 1e6
+        },
+        quick,
+    );
+    let roundtrip = dir.load_shard(4, 0).expect("load shard").to_bytes() == snap.to_bytes();
+
+    // Enqueue cost of handing the snapshot to the background writer — the
+    // only checkpoint cost on the training thread's critical path.
+    let writer = SnapshotWriter::spawn(
+        CheckpointDir::open(&root, 0, 1).expect("open ckpt dir").with_retain(4),
+        Duration::from_secs(10),
+    );
+    let mut enq: Vec<f64> = (0..if quick { 1 } else { 7 })
+        .map(|_| writer.snapshot(snap.clone()).expect("enqueue").as_secs_f64() * 1e6)
+        .collect();
+    writer.flush().expect("writer drains");
+    enq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let enqueue_us = enq[enq.len() / 2];
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let body = format!(
+        "{{\n    \"shard_4MiB_w1\": {{ \"bytes\": {bytes}, \
+         \"save_commit_mb_per_s\": {:.1}, \"load_validate_mb_per_s\": {:.1} }},\n    \
+         \"train_thread_cost\": {{ \"enqueue_us\": {enqueue_us:.2}, \
+         \"hidden_sync_save_us\": {sync_save_us:.1} }},\n    \
+         \"roundtrip_bitwise\": {roundtrip}\n  }}",
+        mb / (sync_save_us / 1e6),
+        mb / (load_us / 1e6),
+    );
+
+    let path = if quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_checkpoint.smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json")
+    };
+    update_sections(std::path::Path::new(path), &[("checkpoint", body)]);
+    eprintln!("wrote {path}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_allreduce, bench_allgather_payload, bench_split, bench_overlap,
               bench_dp_bucketed_backward, bench_fault_tolerance, bench_transport,
-              emit_collectives_json, emit_fault_tolerance_json, emit_transport_json
+              bench_checkpoint, emit_collectives_json, emit_fault_tolerance_json,
+              emit_transport_json, emit_checkpoint_json
 }
 criterion_main!(benches);

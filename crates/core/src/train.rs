@@ -3,13 +3,17 @@
 //! [`resilient_train_loop`] driver (checkpoint → detect → regroup →
 //! restore → continue).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use dchag_collectives::{comm_error_of, CommError, Communicator};
 use dchag_model::{clip_global_norm, AdamW};
 use dchag_parallel::dp::DataParallel;
 use dchag_parallel::fsdp::{FsdpBinder, FsdpParams};
-use dchag_tensor::checkpoint::{load_store, save_store};
+use dchag_tensor::checkpoint::{
+    apply_entries, crc32, merge_shards, CheckpointDir, CheckpointError, DiskFaultPlan, Snapshot,
+    SnapshotWriter,
+};
 use dchag_tensor::prelude::*;
 use dchag_tensor::Tensor;
 
@@ -151,6 +155,35 @@ where
     loss_sum * inv
 }
 
+/// Configuration of the durable (on-disk) recovery tier: where checkpoints
+/// live and how the [`CheckpointDir`] protocol is parameterized.
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// Shared directory all ranks save shards into (one per run).
+    pub dir: PathBuf,
+    /// Committed steps kept by garbage collection.
+    pub retain: usize,
+    /// Process-grid axes recorded in each manifest.
+    pub grid: Vec<usize>,
+    /// Deterministic disk fault injection (tests only; armed on the
+    /// background writer's directory handle, counters reset per regroup).
+    pub faults: DiskFaultPlan,
+    /// How long rank 0's commit waits for the other ranks' shard files.
+    pub commit_deadline: Duration,
+}
+
+impl DurableConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableConfig {
+            dir: dir.into(),
+            retain: 2,
+            grid: Vec::new(),
+            faults: DiskFaultPlan::none(),
+            commit_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
 /// Knobs of the [`resilient_train_loop`] recovery driver.
 #[derive(Clone, Debug)]
 pub struct ResilienceConfig {
@@ -164,6 +197,11 @@ pub struct ResilienceConfig {
     /// Deadline handed to [`Communicator::regroup`]: peers missing past it
     /// are declared failed too.
     pub regroup_deadline: Duration,
+    /// Optional durable tier: every in-memory checkpoint is also handed to
+    /// a background [`SnapshotWriter`] over a [`CheckpointDir`], and on
+    /// launch the loop resumes from the newest valid on-disk checkpoint —
+    /// this is what survives *total* loss (all ranks killed, host reboot).
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for ResilienceConfig {
@@ -173,8 +211,43 @@ impl Default for ResilienceConfig {
             max_retries: 3,
             backoff: Duration::from_millis(10),
             regroup_deadline: Duration::from_secs(2),
+            durable: None,
         }
     }
+}
+
+/// How [`resilient_train_loop_with`] reaches the optimizer and RNG inside
+/// the caller's opaque model state `M`, so checkpoints can carry AdamW
+/// moments / master weights and the data-order RNG. Plain `fn` pointers:
+/// the default (`None`) keeps the params-only behaviour of
+/// [`resilient_train_loop`].
+pub struct StateAccess<M> {
+    pub optimizer: Option<fn(&mut M) -> &mut AdamW>,
+    pub rng: Option<fn(&mut M) -> &mut Rng>,
+}
+
+impl<M> Default for StateAccess<M> {
+    fn default() -> Self {
+        StateAccess { optimizer: None, rng: None }
+    }
+}
+
+impl<M> Clone for StateAccess<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for StateAccess<M> {}
+
+/// Identity of the checkpoint a recovery restored from: the step it was
+/// taken at and the CRC32 of its serialized (format-v2) bytes — enough for
+/// an external reference run to prove bitwise-equal state without the
+/// report hauling the full checkpoint around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestorePoint {
+    pub step: usize,
+    pub crc32: u32,
 }
 
 /// What a survivor's [`resilient_train_loop`] can report back.
@@ -186,11 +259,19 @@ pub struct ResilientReport {
     pub recoveries: usize,
     /// Wall time of each recovery cycle, µs.
     pub recovery_us: Vec<f64>,
-    /// `(step, checkpoint bytes)` the most recent recovery restored from
+    /// Identity of the checkpoint the most recent recovery restored from
     /// (`None` if the run never failed). A fresh run launched with the
     /// survivor world from exactly this checkpoint must reproduce
     /// `losses[step..]` bitwise — the acceptance test of the regroup path.
-    pub restored_from: Option<(usize, Vec<u8>)>,
+    pub restored_from: Option<RestorePoint>,
+    /// Step the loop *started* at after resuming from the durable tier
+    /// (`None` when no valid on-disk checkpoint existed at launch).
+    pub resumed_at: Option<usize>,
+    /// Durable-tier incidents: on-disk steps skipped as corrupt during
+    /// newest-valid selection at launch, plus any background-writer save
+    /// or commit failures, each with its typed cause. Empty means every
+    /// durable checkpoint written and read back cleanly.
+    pub durable_skipped: Vec<(u64, CheckpointError)>,
     /// World size at exit (shrinks by one per dead rank).
     pub final_world: usize,
     /// The communicator the run finished on (post-regroup survivors use
@@ -209,9 +290,11 @@ pub struct ResilientReport {
 /// `build(comm)` constructs the rank's parameter store and whatever model /
 /// optimizer / DP state `step_fn` needs (`M`); it is re-invoked after every
 /// regroup, so optimizer moments restart fresh at the restored step — the
-/// same convention as checkpoint-resume (params-only checkpoints). For the
-/// replay to be bitwise faithful, `build` and `step_fn` must depend only on
-/// `comm` and the step index, not on ambient state.
+/// same convention as checkpoint-resume (params-only checkpoints). Use
+/// [`resilient_train_loop_with`] and a [`StateAccess`] to carry optimizer
+/// moments and RNG state through checkpoints instead. For the replay to be
+/// bitwise faithful, `build` and `step_fn` must depend only on `comm` and
+/// the step index, not on ambient state.
 ///
 /// Failure semantics:
 /// * A step that unwinds with a typed comm cause ([`comm_error_of`]) starts
@@ -226,6 +309,38 @@ pub fn resilient_train_loop<M, B, F>(
     world: &Communicator,
     rcfg: &ResilienceConfig,
     steps: usize,
+    build: B,
+    step_fn: F,
+) -> Result<ResilientReport, CommError>
+where
+    B: FnMut(&Communicator) -> (ParamStore, M),
+    F: FnMut(&mut ParamStore, &mut M, &Communicator, usize) -> f32,
+{
+    resilient_train_loop_with(world, rcfg, steps, StateAccess::default(), build, step_fn)
+}
+
+/// [`resilient_train_loop`] with [`StateAccess`] accessors: checkpoints
+/// (both the in-memory tier and the durable [`CheckpointDir`] tier) carry
+/// AdamW moments / f32 masters and RNG state alongside parameters, so a
+/// restore — after a regroup *or* from disk after total loss — continues
+/// the exact optimizer trajectory instead of silently resetting moments.
+///
+/// With [`ResilienceConfig::durable`] set, the loop additionally:
+/// * resumes at launch from the newest *valid* on-disk checkpoint
+///   (corrupt or torn newer steps are skipped with typed causes in
+///   [`ResilientReport::durable_skipped`]); a checkpoint saved by a
+///   different world size restores parameters via [`merge_shards`]
+///   reshard-on-load (optimizer/RNG sections are shard-local and only
+///   restored on a world-size match);
+/// * hands every in-memory checkpoint to a background [`SnapshotWriter`]
+///   (clone-on-snapshot, O(1) per tensor) — the training step never
+///   blocks on checkpoint I/O, and rank 0 commits each step's manifest
+///   once all shards are on disk.
+pub fn resilient_train_loop_with<M, B, F>(
+    world: &Communicator,
+    rcfg: &ResilienceConfig,
+    steps: usize,
+    access: StateAccess<M>,
     mut build: B,
     mut step_fn: F,
 ) -> Result<ResilientReport, CommError>
@@ -234,16 +349,92 @@ where
     F: FnMut(&mut ParamStore, &mut M, &Communicator, usize) -> f32,
 {
     assert!(rcfg.checkpoint_every > 0, "checkpoint_every must be positive");
+    let take_snapshot = |store: &ParamStore, model: &mut M, step: usize| -> Snapshot {
+        let mut snap = Snapshot::of_store(store, step as u64);
+        if let Some(get_opt) = access.optimizer {
+            snap.optim = Some(get_opt(model).export_state(store));
+        }
+        if let Some(get_rng) = access.rng {
+            snap.rng = Some(get_rng(model).state());
+        }
+        snap
+    };
+    let restore = |snap: &Snapshot, store: &mut ParamStore, model: &mut M| {
+        snap.apply_to(store).expect("checkpoint restores into rebuilt store");
+        if let Some(get_opt) = access.optimizer {
+            if let Some(os) = &snap.optim {
+                get_opt(model).import_state(store, os);
+            }
+        }
+        if let Some(get_rng) = access.rng {
+            if let Some(rs) = &snap.rng {
+                *get_rng(model) = Rng::from_state(rs);
+            }
+        }
+    };
+    let spawn_writer = |comm: &Communicator, d: &DurableConfig| -> SnapshotWriter {
+        let dir = CheckpointDir::open(&d.dir, comm.rank(), comm.size())
+            .expect("open durable checkpoint dir")
+            .with_retain(d.retain)
+            .with_grid(d.grid.clone())
+            .with_faults(d.faults.clone());
+        SnapshotWriter::spawn(dir, d.commit_deadline)
+    };
+
     let mut comm = world.clone();
     let (mut store, mut model) = build(&comm);
-    let mut checkpoint = Vec::new();
-    save_store(&store, &mut checkpoint).expect("in-memory checkpoint");
-    let mut checkpoint_step = 0usize;
-    let mut losses: Vec<f32> = Vec::with_capacity(steps);
+    let mut step = 0usize;
+    let mut resumed_at: Option<usize> = None;
+    let mut durable_skipped: Vec<(u64, CheckpointError)> = Vec::new();
+
+    // Durable tier, resume side: select the newest checkpoint that survives
+    // full validation and restore from it before the first step.
+    let mut writer: Option<SnapshotWriter> = None;
+    if let Some(d) = &rcfg.durable {
+        let probe = CheckpointDir::open(&d.dir, comm.rank(), comm.size())
+            .expect("open durable checkpoint dir");
+        match probe.latest_valid() {
+            Ok(v) => {
+                durable_skipped.extend(v.skipped.iter().cloned());
+                if v.world == comm.size() {
+                    let snap = probe
+                        .load_shard(v.step, comm.rank())
+                        .expect("validated shard loads");
+                    restore(&snap, &mut store, &mut model);
+                } else {
+                    // World size changed since the save: reassemble full
+                    // parameters from all shards (reshard-on-load).
+                    let shards = probe.load_all_shards(v.step).expect("validated shards load");
+                    let entries = merge_shards(&shards).expect("validated shards merge");
+                    apply_entries(&mut store, &entries)
+                        .expect("merged checkpoint restores into rebuilt store");
+                }
+                step = v.step as usize;
+                resumed_at = Some(step);
+            }
+            Err(CheckpointError::NoValidCheckpoint) => {}
+            Err(e) => durable_skipped.push((0, e)),
+        }
+    }
+
+    let mut mem_ckpt = take_snapshot(&store, &mut model, step);
+    let mut checkpoint_step = step;
+    if let Some(d) = &rcfg.durable {
+        let w = spawn_writer(&comm, d);
+        if resumed_at.is_none() {
+            // Fresh start: the step-0 state goes to disk like every later
+            // checkpoint (resumed runs already have it there).
+            if w.snapshot(mem_ckpt.clone()).is_err() {
+                durable_skipped.push((step as u64, CheckpointError::WriterDead));
+            }
+        }
+        writer = Some(w);
+    }
+
+    let mut losses: Vec<f32> = Vec::with_capacity(steps.saturating_sub(step));
     let mut recoveries = 0usize;
     let mut recovery_us: Vec<f64> = Vec::new();
-    let mut restored_from: Option<(usize, Vec<u8>)> = None;
-    let mut step = 0usize;
+    let mut restored_from: Option<RestorePoint> = None;
     while step < steps {
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             step_fn(&mut store, &mut model, &comm, step)
@@ -253,9 +444,13 @@ where
                 losses.push(loss);
                 step += 1;
                 if step.is_multiple_of(rcfg.checkpoint_every) {
-                    checkpoint.clear();
-                    save_store(&store, &mut checkpoint).expect("in-memory checkpoint");
+                    mem_ckpt = take_snapshot(&store, &mut model, step);
                     checkpoint_step = step;
+                    if let Some(w) = &writer {
+                        if w.snapshot(mem_ckpt.clone()).is_err() {
+                            durable_skipped.push((step as u64, CheckpointError::WriterDead));
+                        }
+                    }
                 }
             }
             Err(payload) => {
@@ -280,21 +475,36 @@ where
                 // Survivor world agreed: rebuild, restore, roll back, replay.
                 let (s, m) = build(&comm);
                 (store, model) = (s, m);
-                load_store(&mut store, &mut checkpoint.as_slice())
-                    .expect("checkpoint restores into rebuilt store");
-                losses.truncate(checkpoint_step);
+                restore(&mem_ckpt, &mut store, &mut model);
+                losses.truncate(losses.len() - (step - checkpoint_step));
                 step = checkpoint_step;
                 recoveries += 1;
                 recovery_us.push(t0.elapsed().as_secs_f64() * 1e6);
-                restored_from = Some((checkpoint_step, checkpoint.clone()));
+                restored_from =
+                    Some(RestorePoint { step: checkpoint_step, crc32: crc32(&mem_ckpt.to_bytes()) });
+                // The world shrank: the durable writer must save/commit
+                // under the survivor rank numbering and world size.
+                if let Some(d) = &rcfg.durable {
+                    if let Some(old) = writer.take() {
+                        let _ = old.flush();
+                        durable_skipped.extend(old.take_errors());
+                    }
+                    writer = Some(spawn_writer(&comm, d));
+                }
             }
         }
+    }
+    if let Some(w) = writer.take() {
+        let _ = w.flush();
+        durable_skipped.extend(w.take_errors());
     }
     Ok(ResilientReport {
         losses,
         recoveries,
         recovery_us,
         restored_from,
+        resumed_at,
+        durable_skipped,
         final_world: comm.size(),
         comm,
         store,

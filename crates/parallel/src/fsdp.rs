@@ -35,6 +35,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use dchag_collectives::{CommRequest, Communicator};
+use dchag_tensor::checkpoint::{CheckpointEntry, CheckpointError, ShardMeta, SnapEntry, Snapshot};
 use dchag_tensor::ops;
 use dchag_tensor::prelude::*;
 
@@ -126,6 +127,65 @@ impl FsdpParams {
     /// Name of parameter `i` (diagnostics).
     pub fn name(&self, i: usize) -> &str {
         &self.metas[i].name
+    }
+
+    /// This rank's checkpoint [`Snapshot`]: one entry per parameter holding
+    /// the local 1-D shard, tagged with [`ShardMeta`] (rank, world, padded
+    /// length, full dims) so `merge_shards` can reassemble the full tensors
+    /// when the checkpoint is restored into a *different* world size.
+    /// Entries use the full parameter name (not the `.shard` alias), so a
+    /// merged restore also applies cleanly to an unsharded store.
+    pub fn shard_snapshot(&self, step: u64) -> Snapshot {
+        let entries = self
+            .metas
+            .iter()
+            .zip(&self.shard_ids)
+            .map(|(meta, &id)| SnapEntry {
+                name: meta.name.clone(),
+                value: self.shard_store.get(id).clone(),
+                shard: Some(ShardMeta {
+                    rank: self.comm.rank(),
+                    world: self.comm.size(),
+                    padded: meta.padded,
+                    full_dims: meta.dims.clone(),
+                }),
+            })
+            .collect();
+        Snapshot { entries, optim: None, step, rng: None }
+    }
+
+    /// Restore from *full* (merged) checkpoint entries — the output of
+    /// `merge_shards` over any world size's shard set — by re-flattening,
+    /// re-padding, and slicing each parameter for this group's size and
+    /// this rank. Returns the number of parameters restored; entries with
+    /// no matching parameter are ignored, shape disagreements are typed
+    /// errors.
+    pub fn restore_resharded(
+        &mut self,
+        entries: &[CheckpointEntry],
+    ) -> Result<usize, CheckpointError> {
+        let n = self.comm.size();
+        let rank = self.comm.rank();
+        let mut restored = 0;
+        for (i, meta) in self.metas.iter().enumerate() {
+            let Some(e) = entries.iter().find(|e| e.name == meta.name) else {
+                continue;
+            };
+            if e.value.dims() != meta.dims.as_slice() {
+                return Err(CheckpointError::ShapeMismatch {
+                    name: meta.name.clone(),
+                    checkpoint: e.value.dims().to_vec(),
+                    store: meta.dims.clone(),
+                });
+            }
+            let shard_len = meta.padded / n;
+            let mut flat = e.value.to_vec();
+            flat.resize(meta.padded, 0.0);
+            let local = flat[rank * shard_len..(rank + 1) * shard_len].to_vec();
+            self.shard_store.set(self.shard_ids[i], Tensor::from_vec(local, [shard_len]));
+            restored += 1;
+        }
+        Ok(restored)
     }
 }
 
@@ -348,6 +408,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_fsdp_w4_shards_restore_into_w3_world() {
+        use dchag_tensor::checkpoint::{merge_shards, CheckpointDir};
+        use std::time::Duration;
+        let root = std::env::temp_dir()
+            .join(format!("dchag_fsdp_reshard_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Reference full values (same seeded build every world size uses).
+        let reference: Vec<(String, Vec<f32>)> = {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let _ = build_model(&mut store, &mut rng);
+            store.iter().map(|(_, n, v)| (n.to_string(), v.to_vec())).collect()
+        };
+
+        // w=4: every rank saves its shard snapshot; rank 0 commits step 4.
+        let root4 = root.clone();
+        run_ranks(4, move |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let _ = build_model(&mut store, &mut rng);
+            let fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let dir = CheckpointDir::open(&root4, ctx.comm.rank(), 4).unwrap();
+            dir.save_shard(&fsdp.shard_snapshot(4)).unwrap();
+            if ctx.comm.rank() == 0 {
+                dir.commit(4, Duration::from_secs(10)).unwrap();
+            }
+            ctx.comm.barrier();
+        });
+
+        // w=3: a *zeroed* model restores the w=4 checkpoint resharded.
+        let root3 = root.clone();
+        let want = reference.clone();
+        let run = run_ranks(3, move |ctx| {
+            let mut store = ParamStore::new();
+            let mut rng = Rng::new(5);
+            let _ = build_model(&mut store, &mut rng);
+            let ids: Vec<_> = store.ids().collect();
+            for id in ids {
+                let dims = store.get(id).dims().to_vec();
+                store.set(id, Tensor::zeros(Shape::new(&dims)));
+            }
+            let mut fsdp = FsdpParams::from_store(&store, &ctx.comm);
+            let dir = CheckpointDir::open(&root3, ctx.comm.rank(), 3).unwrap();
+            let v = dir.latest_valid().unwrap();
+            assert_eq!((v.step, v.world), (4, 4), "w=4 checkpoint selected");
+            let shards = dir.load_all_shards(v.step).unwrap();
+            let merged = merge_shards(&shards).unwrap();
+            let restored = fsdp.restore_resharded(&merged).unwrap();
+            assert_eq!(restored, fsdp.len());
+            (0..fsdp.len())
+                .map(|i| (fsdp.name(i).to_string(), fsdp.gather_full(i).to_vec()))
+                .collect::<Vec<_>>()
+        });
+        for got in run.outputs {
+            for ((gn, gv), (wn, wv)) in got.iter().zip(&want) {
+                assert_eq!(gn, wn);
+                assert_eq!(
+                    gv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    wv.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{gn} must survive w=4 → w=3 reshard bitwise"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

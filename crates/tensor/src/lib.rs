@@ -29,13 +29,18 @@ pub use autograd::{Grads, Tape, Var};
 pub use device::MemCounter;
 pub use dtype::DType;
 pub use param::{Binder, LocalBinder, ParamId, ParamStore};
-pub use rng::Rng;
+pub use checkpoint::{
+    CheckpointDir, CheckpointError, DiskFault, DiskFaultPlan, OptimEntry, OptimState, ShardMeta,
+    SnapEntry, Snapshot, SnapshotWriter,
+};
+pub use rng::{Rng, RngState};
 pub use shape::Shape;
 pub use tensor::Tensor;
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {
     pub use crate::autograd::{Grads, Tape, Var};
+    pub use crate::checkpoint::{CheckpointDir, CheckpointError, DiskFaultPlan, Snapshot};
     pub use crate::dtype::DType;
     pub use crate::param::{Binder, LocalBinder, ParamId, ParamStore};
     pub use crate::rng::Rng;

@@ -33,8 +33,8 @@ pub mod prelude {
         Communicator, FaultPlan, FaultPoint, RankCtx, Topology,
     };
     pub use dchag_core::{
-        build_climax, build_mae, resilient_train_loop, DChagEncoder, Plan, Planner,
-        ResilienceConfig,
+        build_climax, build_mae, resilient_train_loop, resilient_train_loop_with, DChagEncoder,
+        DurableConfig, Plan, Planner, ResilienceConfig, RestorePoint, StateAccess,
     };
     pub use dchag_model::{
         ClimaxModel, MaeModel, ModelConfig, PatchMask, TreeConfig, UnitKind,

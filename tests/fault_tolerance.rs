@@ -20,7 +20,7 @@ use dchag_collectives::{
     comm_error_of, run_ranks, run_ranks_faulty, CollOp, CommError, Communicator, FaultPlan,
     FaultPoint, RankCtx,
 };
-use dchag_core::{resilient_train_loop, train_step, ResilienceConfig};
+use dchag_core::{resilient_train_loop, train_step, ResilienceConfig, RestorePoint};
 use dchag_model::{AdamW, DistHierarchicalAggregator, Linear, TreeConfig, UnitKind};
 use dchag_parallel::{gather_sequence, scatter_sequence, DataParallel, FsdpBinder, FsdpParams};
 
@@ -322,26 +322,43 @@ fn fault_recovery_is_bitwise_identical_to_fresh_survivor_run() {
         assert_eq!(report.final_world, 3);
         assert_eq!(report.losses.len(), STEPS);
         assert!(!report.recovery_us.is_empty());
-        let (ck_step, ck) = report.restored_from.clone().expect("one recovery happened");
-        assert_eq!(ck_step, 2, "recovery must restore the step-2 checkpoint");
-        (report.losses.clone(), store_bits(&report.store), ck)
+        let rp = report.restored_from.expect("one recovery happened");
+        assert_eq!(rp.step, 2, "recovery must restore the step-2 checkpoint");
+        (report.losses.clone(), store_bits(&report.store), rp)
     });
 
-    // Victim died of its injected fault. DP params and checkpoint bytes are
-    // replica-identical, so every survivor must agree on those bitwise;
+    // Victim died of its injected fault. DP params and the restore point
+    // are replica-identical, so every survivor must agree on those bitwise;
     // losses are computed on each rank's own batch shard and are compared
     // per-rank against the fresh run below.
     let msg = faulty.outputs[2].as_ref().expect_err("rank 2 must die");
     assert!(msg.contains("injected fault"), "victim cause: {msg}");
-    let survivors: Vec<&(Vec<f32>, Vec<u32>, Vec<u8>)> = [0, 1, 3]
+    let survivors: Vec<&(Vec<f32>, Vec<u32>, RestorePoint)> = [0, 1, 3]
         .iter()
         .map(|&r| faulty.outputs[r].as_ref().expect("survivor ok"))
         .collect();
-    let (_, params, ck) = survivors[0];
+    let (_, params, rp) = survivors[0];
     for s in &survivors[1..] {
         assert_eq!(&s.1, params, "survivors disagree on params");
-        assert_eq!(&s.2, ck, "survivors disagree on checkpoint bytes");
+        assert_eq!(&s.2, rp, "survivors disagree on the restore point");
     }
+
+    // The report names the checkpoint by (step, crc32) only; rebuild it
+    // with a clean deterministic 4-rank run of the first two steps and
+    // prove it is the one the recovery used via the crc.
+    let rebuilt = run_ranks(4, |ctx| {
+        let (mut store, mut m) = dp_build(&ctx.comm);
+        for batch in &batches[..2] {
+            dp_step(&mut store, &mut m, batch);
+        }
+        dchag_tensor::checkpoint::Snapshot::of_store(&store, 2).to_bytes()
+    });
+    let ck = &rebuilt.outputs[0];
+    assert_eq!(
+        dchag_tensor::checkpoint::crc32(ck),
+        rp.crc32,
+        "reconstructed checkpoint must match the restore point"
+    );
 
     // Fresh 3-rank run resumed from exactly those checkpoint bytes. The
     // regroup renumbers survivors in ascending old-rank order, so old

@@ -21,7 +21,8 @@ use dchag_collectives::{
     comm_error_of, run_ranks, run_tcp_ranks, run_tcp_ranks_faulty, run_transport_ranks, CommError,
     CommPrecision, Communicator, RankCtx, TcpConfig, Transport, TransportFault, TransportFaultPlan,
 };
-use dchag_core::{resilient_train_loop, train_step, ResilienceConfig};
+use dchag_core::{resilient_train_loop, train_step, ResilienceConfig, RestorePoint};
+use dchag_tensor::checkpoint::{crc32, Snapshot};
 use dchag_model::{AdamW, Linear};
 use dchag_parallel::DataParallel;
 
@@ -311,22 +312,36 @@ fn tcp_resilient_training_recovers_bitwise_onto_survivors() {
         .expect("survivors complete the run");
         assert_eq!(report.recoveries, 1);
         assert_eq!(report.final_world, 3);
-        let (ck_step, ck) = report.restored_from.clone().expect("one recovery happened");
-        assert_eq!(ck_step, 2, "recovery must restore the step-2 checkpoint");
-        (report.losses.clone(), store_bits(&report.store), ck)
+        let rp = report.restored_from.expect("one recovery happened");
+        assert_eq!(rp.step, 2, "recovery must restore the step-2 checkpoint");
+        (report.losses.clone(), store_bits(&report.store), rp)
     });
 
     let msg = faulty.outputs[2].as_ref().expect_err("rank 2 must die");
     assert!(msg.contains("synthetic rank death"), "victim cause: {msg}");
-    let survivors: Vec<&(Vec<f32>, Vec<u32>, Vec<u8>)> = [0, 1, 3]
+    let survivors: Vec<&(Vec<f32>, Vec<u32>, RestorePoint)> = [0, 1, 3]
         .iter()
         .map(|&r| faulty.outputs[r].as_ref().expect("survivor ok"))
         .collect();
-    let (_, params, ck) = survivors[0];
+    let (_, params, rp) = survivors[0];
     for s in &survivors[1..] {
         assert_eq!(&s.1, params, "survivors disagree on params");
-        assert_eq!(&s.2, ck, "survivors disagree on checkpoint bytes");
+        assert_eq!(&s.2, rp, "survivors disagree on the restore point");
     }
+
+    // The report carries only (step, crc32) — reconstruct the checkpoint
+    // independently: DP training is deterministic, so a clean 4-rank
+    // thread-transport run of the first two steps rebuilds the exact
+    // snapshot the recovery restored from, proven by the matching crc.
+    let rebuilt = run_ranks(4, |ctx| {
+        let (mut store, mut m) = dp_build(&ctx.comm);
+        for batch in &batches[..2] {
+            dp_step(&mut store, &mut m, batch);
+        }
+        Snapshot::of_store(&store, 2).to_bytes()
+    });
+    let ck = &rebuilt.outputs[0];
+    assert_eq!(crc32(ck), rp.crc32, "reconstructed checkpoint must match the restore point");
 
     // Cross-transport: the reference run uses the thread transport.
     let fresh = run_ranks(3, |ctx| {

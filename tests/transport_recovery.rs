@@ -100,15 +100,15 @@ fn transport_recovery_child() {
 
     assert_eq!(report.recoveries, 1, "exactly one recovery");
     assert_eq!(report.final_world, WORLD - 1);
-    let (ck_step, ck) = report.restored_from.expect("one recovery happened");
-    assert_eq!(ck_step, 2, "recovery must restore the step-2 checkpoint");
+    let rp = report.restored_from.expect("one recovery happened");
+    assert_eq!(rp.step, 2, "recovery must restore the step-2 checkpoint");
 
     write_u32s(
         &env.dir.join(format!("rank{my_rank}.losses")),
         &report.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
     );
     write_u32s(&env.dir.join(format!("rank{my_rank}.params")), &store_bits(&report.store));
-    std::fs::write(env.dir.join(format!("rank{my_rank}.ck")), &ck).expect("write checkpoint");
+    write_u32s(&env.dir.join(format!("rank{my_rank}.ck")), &[rp.step as u32, rp.crc32]);
     ep.shutdown_graceful();
 }
 
@@ -150,15 +150,15 @@ fn multi_process_sigkill_recovery_is_bitwise_identical() {
         }
     }
 
-    // Survivors agree bitwise on checkpoint bytes and final parameters.
+    // Survivors agree bitwise on the restore point and final parameters.
     let survivors: Vec<usize> = (0..WORLD).filter(|&r| r != VICTIM).collect();
-    let ck = std::fs::read(dir.join(format!("rank{}.ck", survivors[0]))).expect("checkpoint");
+    let rp = read_u32s(&dir.join(format!("rank{}.ck", survivors[0])));
     let params = read_u32s(&dir.join(format!("rank{}.params", survivors[0])));
     for &r in &survivors[1..] {
         assert_eq!(
-            std::fs::read(dir.join(format!("rank{r}.ck"))).expect("checkpoint"),
-            ck,
-            "rank {r} disagrees on checkpoint bytes"
+            read_u32s(&dir.join(format!("rank{r}.ck"))),
+            rp,
+            "rank {r} disagrees on the restore point"
         );
         assert_eq!(
             read_u32s(&dir.join(format!("rank{r}.params"))),
@@ -166,12 +166,31 @@ fn multi_process_sigkill_recovery_is_bitwise_identical() {
             "rank {r} disagrees on final params"
         );
     }
+    assert_eq!(rp[0], 2, "restore point must name step 2");
+
+    // The report names the checkpoint by (step, crc32) only; DP training is
+    // deterministic and transport-independent, so rebuild it with a clean
+    // in-process 4-rank thread run of the first two steps and prove it is
+    // the one the survivors restored via the crc.
+    let data = batches();
+    let rebuilt = run_ranks(WORLD, |ctx| {
+        let (mut store, mut m) = dp_build(&ctx.comm);
+        for batch in &data[..2] {
+            dp_step(&mut store, &mut m, batch);
+        }
+        dchag_tensor::checkpoint::Snapshot::of_store(&store, 2).to_bytes()
+    });
+    let ck = &rebuilt.outputs[0];
+    assert_eq!(
+        dchag_tensor::checkpoint::crc32(ck),
+        rp[1],
+        "reconstructed checkpoint must match the survivors' restore point"
+    );
 
     // Fresh in-process 3-rank run over the *thread* transport, resumed from
     // the surviving processes' checkpoint bytes. Regroup renumbers old
     // ranks [0, 1, 3] to fresh ranks [0, 1, 2] in order, so batch shards
     // line up rank-for-rank.
-    let data = batches();
     let fresh = run_ranks(WORLD - 1, |ctx| {
         let (mut store, mut m) = dp_build(&ctx.comm);
         dchag_tensor::checkpoint::load_store(&mut store, &mut ck.as_slice())
